@@ -1,0 +1,29 @@
+"""Figure 3 — F1 bars: DTT-2e, GPT3-1e/2e, GPT3-DTT-1e/2e per dataset."""
+
+from __future__ import annotations
+
+from conftest import persist
+
+from repro.eval.experiments import run_figure3
+
+_SCALE = 0.35
+_SEED = 7
+
+
+def test_figure3_bars(benchmark, results_dir):
+    bars = benchmark.pedantic(
+        lambda: run_figure3(scale=_SCALE, seed=_SEED), rounds=1, iterations=1
+    )
+    series = ["DTT-2e", "GPT3-1e", "GPT3-DTT-1e", "GPT3-2e", "GPT3-DTT-2e"]
+    lines = [f"Figure 3 (scale={_SCALE}, seed={_SEED}): F1 per dataset"]
+    lines.append("Dataset".ljust(9) + "".join(s.rjust(13) for s in series))
+    for dataset, values in bars.items():
+        lines.append(
+            dataset.ljust(9)
+            + "".join(f"{values[s]:13.3f}" for s in series)
+        )
+    persist(results_dir, "figure3", "\n".join(lines))
+
+    # GPT3-1e is the weakest configuration on synthetic data (paper §5.6).
+    assert bars["Syn"]["GPT3-1e"] <= bars["Syn"]["GPT3-2e"]
+    assert bars["Syn-RV"]["DTT-2e"] > bars["Syn-RV"]["GPT3-2e"]

@@ -1,0 +1,63 @@
+"""Figure 4 — F1/ANED vs number of training groupings (§5.8).
+
+Shape targets: near-garbage at 0 groupings (F1 < 0.5, ANED > 0.8),
+steep rise, plateau at ~2,000, and a slight decline after on real-world
+data; the longer-length training range tracks the same curve.
+"""
+
+from __future__ import annotations
+
+from conftest import persist
+
+from repro.eval.experiments import curves_to_text, run_figure4
+
+_SCALE = 0.3
+_SEED = 7
+_COUNTS = (0, 500, 1000, 2000, 5000, 10000)
+
+
+def test_figure4_short_training_lengths(benchmark, results_dir):
+    curves = benchmark.pedantic(
+        lambda: run_figure4(
+            scale=_SCALE, seed=_SEED, sample_counts=_COUNTS, long_lengths=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    persist(
+        results_dir,
+        "figure4_short",
+        curves_to_text(
+            curves,
+            "groupings",
+            f"Figure 4a/4c (train lengths 8-35, scale={_SCALE}): F1 & ANED",
+        ),
+    )
+    for name, points in curves.items():
+        by_x = {p.x: p for p in points}
+        assert by_x[0].aned > 0.6, f"{name}: untrained model should be garbage"
+        assert by_x[2000].f1 > by_x[0].f1 + 0.2, name
+        # Plateau: 10k is within a small band of 2k.
+        assert abs(by_x[10000].f1 - by_x[2000].f1) < 0.15, name
+
+
+def test_figure4_long_training_lengths(benchmark, results_dir):
+    curves = benchmark.pedantic(
+        lambda: run_figure4(
+            scale=_SCALE, seed=_SEED, sample_counts=_COUNTS, long_lengths=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    persist(
+        results_dir,
+        "figure4_long",
+        curves_to_text(
+            curves,
+            "groupings",
+            f"Figure 4b/4d (train lengths 5-60, scale={_SCALE}): F1 & ANED",
+        ),
+    )
+    for name, points in curves.items():
+        by_x = {p.x: p for p in points}
+        assert by_x[2000].f1 > by_x[0].f1, name

@@ -1,0 +1,42 @@
+"""Figure 6 — effect of the number of trials, clean vs 60% noise (§5.10).
+
+Shape targets: on noisy example pools, more aggregation trials improve
+both ANED and F1 and the curves converge around 5 trials; on clean
+pools the curves stay roughly flat.
+"""
+
+from __future__ import annotations
+
+from conftest import persist
+
+from repro.eval.experiments import curves_to_text, run_figure6
+
+_SCALE = 0.3
+_SEED = 7
+_TRIALS = (2, 3, 5, 7, 10)
+
+
+def test_figure6_trials(benchmark, results_dir):
+    curves = benchmark.pedantic(
+        lambda: run_figure6(scale=_SCALE, seed=_SEED, trial_counts=_TRIALS),
+        rounds=1,
+        iterations=1,
+    )
+    persist(
+        results_dir,
+        "figure6",
+        curves_to_text(
+            curves,
+            "trials",
+            f"Figure 6 (scale={_SCALE}, 60% noise on -n series): F1 & ANED vs trials",
+        ),
+    )
+    for name, points in curves.items():
+        by_x = {p.x: p for p in points}
+        if name.endswith("-n"):
+            # Noisy: more trials help (allowing small non-monotonicity).
+            assert by_x[10].f1 >= by_x[2].f1 - 0.05, name
+        else:
+            # Clean: flat within a narrow band.
+            values = [p.f1 for p in points]
+            assert max(values) - min(values) < 0.2, name

@@ -1,0 +1,44 @@
+"""§5.9 — accuracy vs input length, short- vs long-trained model.
+
+Shape targets: on easy data both models hold up at every length; on
+medium data the short-trained model declines once inputs exceed its
+training range while the long-trained model does not.
+"""
+
+from __future__ import annotations
+
+from conftest import persist
+
+from repro.eval.experiments import run_input_length
+
+_SEED = 7
+_LENGTHS = (10, 20, 35, 45, 60)
+
+
+def test_input_length_generalization(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_input_length(seed=_SEED, lengths=_LENGTHS),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["§5.9: F1 vs input length (short- vs long-trained model)"]
+    lines.append("Series".ljust(26) + "".join(f"{x:>8d}" for x in _LENGTHS))
+    for profile, per_dataset in result.items():
+        for dataset, points in per_dataset.items():
+            by_x = {p.x: p for p in points}
+            lines.append(
+                f"{profile}/{dataset}".ljust(26)
+                + "".join(f"{by_x[x].f1:8.3f}" for x in _LENGTHS)
+            )
+    persist(results_dir, "input_length", "\n".join(lines))
+
+    short = result["trained-8-35"]
+    longer = result["trained-5-60"]
+    # Easy data: both profiles stay strong at every length.
+    for profile in (short, longer):
+        for point in profile["Syn-RP"]:
+            assert point.f1 > 0.8, "easy data should be length-insensitive"
+    # Medium data at length 60: the long-trained model is at least as good.
+    short_60 = [p for p in short["Syn-ST"] if p.x == 60][0]
+    long_60 = [p for p in longer["Syn-ST"] if p.x == 60][0]
+    assert long_60.f1 >= short_60.f1 - 0.05

@@ -1,0 +1,42 @@
+"""Table 3 — multi-model aggregation: DTT, GPT-3, and DTT+GPT-3.
+
+Shape targets: the combined setting tracks the better individual model
+per dataset and beats both on average (paper §5.7).
+"""
+
+from __future__ import annotations
+
+from conftest import persist
+
+from repro.eval.experiments import run_table3
+from repro.eval.tables import render_dataset_table
+
+_SCALE = 0.35
+_SEED = 7
+
+
+def test_table3_multimodel(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale=_SCALE, seed=_SEED), rounds=1, iterations=1
+    )
+    text = render_dataset_table(
+        result,
+        methods=["DTT", "GPT3", "DTT+GPT3"],
+        columns=("F", "ANED"),
+        title=f"Table 3 (scale={_SCALE}, seed={_SEED}): multi-model aggregator",
+    )
+    averages = {
+        m: sum(result[d][m].f1 for d in result) / len(result)
+        for m in ("DTT", "GPT3", "DTT+GPT3")
+    }
+    text += "\nAverage F1: " + "  ".join(
+        f"{m}={v:.3f}" for m, v in averages.items()
+    )
+    persist(results_dir, "table3", text)
+
+    # The ensemble's average is at least on par with each single model.
+    assert averages["DTT+GPT3"] >= max(averages["DTT"], averages["GPT3"]) - 0.03
+    # Per dataset it tracks the better model within a tolerance.
+    for dataset, per in result.items():
+        best_single = max(per["DTT"].f1, per["GPT3"].f1)
+        assert per["DTT+GPT3"].f1 >= best_single - 0.15, dataset

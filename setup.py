@@ -1,0 +1,5 @@
+"""Setup shim for editable installs in environments without `wheel`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Baseline systems the paper compares against (§5.5).
+
+* :class:`CSTJoiner` — Common String-based Transformer (Nobari et al.):
+  per-example transformation synthesis over the basic units, coverage
+  ranking, exact-match joining.
+* :class:`AutoJoinJoiner` — Auto-join (Zhu et al.): backtracking search
+  for a single unit sequence covering the examples, with noise handling
+  via example subsets.
+* :class:`AFJJoiner` — Auto-FuzzyJoin (Li et al.): similarity-function
+  fuzzy join with an automatically tuned precision threshold; uses no
+  examples.
+* :class:`DittoJoiner` — Ditto (Li et al.): a learned entity matcher;
+  our stand-in for its DistilBERT backbone is a numpy logistic
+  classifier over string-similarity features, trained per table on the
+  provided examples.
+* :class:`DataXFormerJoiner` — DataXFormer (Abedjan et al.): KB-backed
+  transformation discovery, used as the extra KBWT baseline.
+"""
+
+from repro.baselines.base import JoinOutput, TableJoiner
+from repro.baselines.cst import CSTJoiner
+from repro.baselines.autojoin import AutoJoinJoiner
+from repro.baselines.afj import AFJJoiner
+from repro.baselines.ditto import DittoJoiner
+from repro.baselines.dataxformer import DataXFormerJoiner
+
+__all__ = [
+    "TableJoiner",
+    "JoinOutput",
+    "CSTJoiner",
+    "AutoJoinJoiner",
+    "AFJJoiner",
+    "DittoJoiner",
+    "DataXFormerJoiner",
+]

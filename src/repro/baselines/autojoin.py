@@ -1,0 +1,90 @@
+"""Auto-join baseline — Zhu et al. [58].
+
+Auto-join searches (by recursive backtracking) for **one** unit-sequence
+transformation that covers the examples, handling noise by retrying on
+random subsets of the examples.  Unlike CST it commits to a single
+transformation, so tables that need several conditional rules defeat it
+— the limitation the paper highlights for single-transformation systems.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines._units import (
+    UnitTransformation,
+    coverage,
+    synthesize_transformations,
+)
+from repro.baselines.base import JoinOutput
+from repro.types import ExamplePair
+from repro.utils.rng import derive_rng
+
+
+class AutoJoinJoiner:
+    """Auto-join re-implementation on the flat-unit language.
+
+    Args:
+        n_subsets: Number of example subsets tried for noise handling.
+        subset_fraction: Fraction of examples per subset.
+        seed: Seed for subset sampling.
+    """
+
+    def __init__(
+        self,
+        n_subsets: int = 4,
+        subset_fraction: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        self.n_subsets = n_subsets
+        self.subset_fraction = subset_fraction
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return "Auto-join"
+
+    def learn(self, examples: Sequence[ExamplePair]) -> UnitTransformation | None:
+        """Find the single transformation with the best example coverage."""
+        pairs = [(e.source, e.target) for e in examples]
+        if not pairs:
+            return None
+        rng = derive_rng(self.seed, "autojoin-subsets", len(pairs))
+        subset_size = max(1, int(len(pairs) * self.subset_fraction))
+        subsets: list[list[tuple[str, str]]] = [pairs]
+        for _ in range(self.n_subsets):
+            picks = rng.choice(len(pairs), size=subset_size, replace=False)
+            subsets.append([pairs[int(p)] for p in picks])
+
+        best: UnitTransformation | None = None
+        best_coverage = 0
+        for subset in subsets:
+            for source, target in subset:
+                for candidate in synthesize_transformations(
+                    source, target, max_results=3
+                ):
+                    if candidate.literal_only:
+                        continue
+                    covered = coverage(candidate, pairs)
+                    if covered > best_coverage:
+                        best, best_coverage = candidate, covered
+        return best
+
+    def join_table(
+        self,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        examples: Sequence[ExamplePair],
+    ) -> JoinOutput:
+        """Apply the learned transformation; exact matches only."""
+        transformation = self.learn(examples)
+        target_set = set(targets)
+        matches: list[str | None] = []
+        for source in sources:
+            matched: str | None = None
+            if transformation is not None:
+                output = transformation.apply(source)
+                if output is not None and output in target_set:
+                    matched = output
+            matches.append(matched)
+        return JoinOutput(matches=tuple(matches))

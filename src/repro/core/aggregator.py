@@ -1,0 +1,106 @@
+"""Prediction aggregation (paper §4.3, Eq. 3-4; multi-model §5.7).
+
+Each source row receives ``n`` candidate outputs, one per trial.  Under
+the maximum-likelihood estimate of Eq. 4 the chosen output is the most
+frequent candidate.  Ties are broken by mean similarity to the other
+candidates — the candidate closest to the consensus — and then by trial
+order for determinism.  Abstentions (empty outputs) never win over a
+non-empty candidate.
+
+:class:`MultiModelAggregator` implements the §5.7 ensemble: the trials of
+several models are pooled with equal weight, so the more *self-consistent*
+model dominates the vote, and agreement across models reinforces a
+candidate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.core.interface import SequenceModel
+from repro.text.edit_distance import normalized_edit_distance
+from repro.types import Prediction
+
+
+class Aggregator:
+    """Frequency-argmax aggregation over per-trial candidates (Eq. 4)."""
+
+    def aggregate(self, source: str, candidates: Sequence[str]) -> Prediction:
+        """Combine the candidate outputs for one source row.
+
+        Args:
+            source: The source row the candidates belong to.
+            candidates: Per-trial model outputs (may contain empties).
+
+        Returns:
+            The aggregated :class:`Prediction`.
+        """
+        candidates = list(candidates)
+        non_empty = [c for c in candidates if c]
+        if not non_empty:
+            return Prediction(
+                source=source, value="", candidates=tuple(candidates), votes=0
+            )
+        counts = Counter(non_empty)
+        best_count = max(counts.values())
+        tied = [value for value, count in counts.items() if count == best_count]
+        if best_count >= 2:
+            winner = self._break_ties(tied, non_empty)
+        else:
+            # All candidates are singletons: there is no consistency
+            # signal (Eq. 4 is flat), so keep trial order — earlier
+            # trials come from the primary model in an ensemble.
+            winner = tied[0]
+        return Prediction(
+            source=source,
+            value=winner,
+            candidates=tuple(candidates),
+            votes=counts[winner],
+        )
+
+    def _break_ties(self, tied: list[str], all_candidates: list[str]) -> str:
+        if len(tied) == 1:
+            return tied[0]
+
+        def consensus_score(value: str) -> float:
+            distances = [
+                normalized_edit_distance(value, other)
+                for other in all_candidates
+                if other != value
+            ]
+            if not distances:
+                return 0.0
+            return -sum(distances) / len(distances)
+
+        # Highest consensus wins; fall back to first occurrence order.
+        order = {value: all_candidates.index(value) for value in tied}
+        return max(tied, key=lambda v: (consensus_score(v), -order[v]))
+
+
+class MultiModelAggregator:
+    """Pools equally weighted trials from several models (paper §5.7).
+
+    Args:
+        models: The sequence models to ensemble.
+        aggregator: Vote aggregator applied to the pooled candidates.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[SequenceModel],
+        aggregator: Aggregator | None = None,
+    ) -> None:
+        if not models:
+            raise ValueError("MultiModelAggregator requires at least one model")
+        self.models = list(models)
+        self.aggregator = aggregator or Aggregator()
+
+    @property
+    def name(self) -> str:
+        return "+".join(model.name for model in self.models)
+
+    def generate_candidates(self, prompts: list[str]) -> list[list[str]]:
+        """Return per-prompt candidate lists, one candidate per model."""
+        per_model = [model.generate(prompts) for model in self.models]
+        return [list(outputs) for outputs in zip(*per_model)]

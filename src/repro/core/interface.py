@@ -1,0 +1,35 @@
+"""The ``SequenceModel`` protocol shared by every model in the framework.
+
+The paper swaps its fine-tuned ByT5 model for GPT-3 inside the same
+framework (§5.6) and even ensembles the two (§5.7).  We capture that
+pluggability with a minimal protocol: a model maps serialized prompts to
+predicted target strings.  The numpy transformer, the pretrained-DTT
+induction engine, and the GPT-3 surrogate all implement it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SequenceModel(Protocol):
+    """Anything that maps serialized DTT prompts to output strings."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports and multi-model aggregation."""
+        ...
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        """Predict one output string per serialized prompt.
+
+        Args:
+            prompts: Serialized sub-task prompts in the §4.1 markup form
+                (``<sos> s1 <tr> t1 <eoe> ... q <tr> <eos>``).
+
+        Returns:
+            One predicted target string per prompt.  The empty string
+            denotes an abstention (the model emitted only ``<eos>``).
+        """
+        ...

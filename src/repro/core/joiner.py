@@ -1,0 +1,131 @@
+"""Edit-distance join (paper §4.4, Eq. 5).
+
+A predicted value ``f(s_i)`` is matched to the target-column value with
+the minimum edit distance.  Exact prediction is unnecessary: small
+discrepancies do not affect the join as long as the true row remains the
+closest.  Optional lower/upper distance bounds support many-to-many
+joins, and abstained predictions produce no match (footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import JoinError
+from repro.text.edit_distance import edit_distance, edit_distance_capped
+from repro.types import JoinResult, Prediction
+
+
+class EditDistanceJoiner:
+    """Matches predictions into a target column by minimum edit distance.
+
+    Args:
+        max_distance: When set, matches farther than this are rejected
+            (the row stays unmatched, reducing recall but protecting
+            precision).
+        normalized_threshold: When set, reject matches whose distance
+            divided by the target length exceeds this value.
+    """
+
+    def __init__(
+        self,
+        max_distance: int | None = None,
+        normalized_threshold: float | None = None,
+    ) -> None:
+        if max_distance is not None and max_distance < 0:
+            raise ValueError(f"max_distance must be >= 0, got {max_distance}")
+        if normalized_threshold is not None and normalized_threshold < 0:
+            raise ValueError(
+                f"normalized_threshold must be >= 0, got {normalized_threshold}"
+            )
+        self.max_distance = max_distance
+        self.normalized_threshold = normalized_threshold
+
+    def match(self, predicted: str, targets: Sequence[str]) -> tuple[str | None, int]:
+        """Return ``(closest_target, distance)`` for one predicted value.
+
+        Ties are broken towards the earlier target row for determinism.
+        """
+        if not targets:
+            raise JoinError("cannot join into an empty target column")
+        if predicted == "":
+            return None, 0
+        best_value: str | None = None
+        best_distance = len(predicted) + max(len(t) for t in targets) + 1
+        for candidate in targets:
+            cap = best_distance - 1
+            if cap < 0:
+                break
+            distance = edit_distance_capped(predicted, candidate, cap)
+            if distance < best_distance:
+                best_distance = distance
+                best_value = candidate
+                if best_distance == 0:
+                    break
+        if best_value is None:
+            # All candidates were pruned at cap 0 after an exact match —
+            # cannot happen, but recompute defensively.
+            best_value = min(targets, key=lambda t: edit_distance(predicted, t))
+            best_distance = edit_distance(predicted, best_value)
+        if self.max_distance is not None and best_distance > self.max_distance:
+            return None, best_distance
+        if self.normalized_threshold is not None:
+            denominator = max(len(best_value), 1)
+            if best_distance / denominator > self.normalized_threshold:
+                return None, best_distance
+        return best_value, best_distance
+
+    def match_many(
+        self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
+    ) -> list[tuple[str, int]]:
+        """Return every target within ``[lower, upper]`` edit distance.
+
+        Supports the paper's many-to-many generalization of Eq. 5 where a
+        source row may match zero or several target rows.
+        """
+        if not targets:
+            raise JoinError("cannot join into an empty target column")
+        if lower > upper:
+            raise ValueError(f"lower ({lower}) must be <= upper ({upper})")
+        matches: list[tuple[str, int]] = []
+        if predicted == "":
+            return matches
+        for candidate in targets:
+            distance = edit_distance_capped(predicted, candidate, upper)
+            if lower <= distance <= upper:
+                matches.append((candidate, distance))
+        matches.sort(key=lambda item: item[1])
+        return matches
+
+    def join(
+        self,
+        predictions: Sequence[Prediction],
+        targets: Sequence[str],
+        expected: Sequence[str] | None = None,
+    ) -> list[JoinResult]:
+        """Join a column of predictions into the target column.
+
+        Args:
+            predictions: Aggregated predictions, one per source row.
+            targets: The full target column to join into.
+            expected: Ground-truth target per source row (for scoring);
+                when omitted, ``expected`` in the results is ``""``.
+        """
+        if expected is not None and len(expected) != len(predictions):
+            raise JoinError(
+                f"expected ({len(expected)}) must align with predictions "
+                f"({len(predictions)})"
+            )
+        results: list[JoinResult] = []
+        for i, prediction in enumerate(predictions):
+            matched, distance = self.match(prediction.value, targets)
+            results.append(
+                JoinResult(
+                    source=prediction.source,
+                    predicted=prediction.value,
+                    matched=matched,
+                    expected=expected[i] if expected is not None else "",
+                    distance=distance,
+                )
+            )
+        return results

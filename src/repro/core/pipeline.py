@@ -1,0 +1,117 @@
+"""The end-to-end DTT pipeline (paper Figure 2).
+
+``DTTPipeline`` wires the decomposer, serializer, model(s), aggregator,
+and joiner together.  Its two public operations mirror the paper's use
+cases:
+
+* :meth:`transform_column` — predict a target-formatted value for every
+  source row (missing-value imputation / auto-fill).
+* :meth:`join` — transform and then match into a target column (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregator import Aggregator, MultiModelAggregator
+from repro.core.interface import SequenceModel
+from repro.core.joiner import EditDistanceJoiner
+from repro.core.serializer import Decomposer, PromptSerializer
+from repro.types import ExamplePair, JoinResult, Prediction
+from repro.utils.timing import Stopwatch
+
+
+class DTTPipeline:
+    """End-to-end example-driven table transformation.
+
+    Args:
+        model: A single sequence model, or a list of models to ensemble
+            with equal weight (paper §5.7).
+        context_size: Example pairs per sub-task context (paper: 2).
+        n_trials: Trials per row *per model* (paper: 5).
+        seed: Seed for context sampling.
+        joiner: Join strategy; defaults to plain Eq. 5 argmin.
+    """
+
+    def __init__(
+        self,
+        model: SequenceModel | Sequence[SequenceModel],
+        context_size: int = 2,
+        n_trials: int = 5,
+        seed: int = 0,
+        joiner: EditDistanceJoiner | None = None,
+    ) -> None:
+        models = [model] if isinstance(model, SequenceModel) else list(model)
+        if not models:
+            raise ValueError("DTTPipeline requires at least one model")
+        self._ensemble = MultiModelAggregator(models)
+        self.decomposer = Decomposer(
+            context_size=context_size, n_trials=n_trials, seed=seed
+        )
+        self.serializer = PromptSerializer()
+        self.aggregator = Aggregator()
+        self.joiner = joiner or EditDistanceJoiner()
+        self.stopwatch = Stopwatch()
+
+    @property
+    def name(self) -> str:
+        return f"DTT[{self._ensemble.name}]"
+
+    @property
+    def models(self) -> list[SequenceModel]:
+        return self._ensemble.models
+
+    def transform_column(
+        self,
+        sources: Sequence[str],
+        examples: Sequence[ExamplePair],
+    ) -> list[Prediction]:
+        """Predict a target-formatted value for every source row.
+
+        Args:
+            sources: The source column values to transform.
+            examples: The example pool (user-provided or auto-generated).
+
+        Returns:
+            One aggregated :class:`Prediction` per source row, in order.
+        """
+        sources = list(sources)
+        if not sources:
+            return []
+        with self.stopwatch.lap("decompose"):
+            subtasks = self.decomposer.decompose(sources, examples)
+            prompts = [
+                self.serializer.serialize(task.context, task.query)
+                for task in subtasks
+            ]
+        with self.stopwatch.lap("predict"):
+            candidate_lists = self._ensemble.generate_candidates(prompts)
+        with self.stopwatch.lap("aggregate"):
+            per_row: dict[int, list[str]] = {i: [] for i in range(len(sources))}
+            for task, candidates in zip(subtasks, candidate_lists):
+                per_row[task.row_index].extend(candidates)
+            predictions = [
+                self.aggregator.aggregate(sources[i], per_row[i])
+                for i in range(len(sources))
+            ]
+        return predictions
+
+    def join(
+        self,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        examples: Sequence[ExamplePair],
+        expected: Sequence[str] | None = None,
+    ) -> list[JoinResult]:
+        """Transform the source column and join it into ``targets``.
+
+        Args:
+            sources: Source column values.
+            targets: Target column to join into.
+            examples: Example pool guiding the transformation.
+            expected: Ground-truth target per source row, for scoring.
+        """
+        predictions = self.transform_column(sources, examples)
+        with self.stopwatch.lap("join"):
+            results = self.joiner.join(predictions, targets, expected)
+        return results

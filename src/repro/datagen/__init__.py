@@ -1,0 +1,19 @@
+"""Synthetic data generation: training corpora and evaluation benchmarks.
+
+* :mod:`repro.datagen.random_text` — random source-string sampling.
+* :mod:`repro.datagen.training` — transformation *groupings* for model
+  training (paper §5.1).
+* :mod:`repro.datagen.benchmarks` — the seven evaluation datasets
+  (WT, SS, KBWT, Syn, Syn-RP, Syn-ST, Syn-RV) and noise injection.
+"""
+
+from repro.datagen.auto_examples import AutoExampleGenerator
+from repro.datagen.random_text import RandomTextSampler
+from repro.datagen.training import TrainingDataGenerator, TransformationGrouping
+
+__all__ = [
+    "AutoExampleGenerator",
+    "RandomTextSampler",
+    "TrainingDataGenerator",
+    "TransformationGrouping",
+]

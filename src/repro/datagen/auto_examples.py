@@ -1,0 +1,122 @@
+"""Automatic example generation by token matching (paper §2).
+
+When user-provided examples are unavailable, Auto-join and CST derive
+them automatically: source and target rows that share distinctive
+tokens are paired up, "with the caveat that the automatically generated
+examples may contain noise and invalid pairs" (paper §2) — which is
+exactly the input regime the DTT aggregator is built to survive (§5.10).
+
+The generator scores every (source, target) row pair by weighted token
+overlap (rarer tokens weigh more, like an IDF), keeps mutually-best
+pairs above a threshold, and returns them as an example pool.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.types import ExamplePair
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
+
+
+def _tokens(text: str) -> set[str]:
+    return {t.lower() for t in _TOKEN_PATTERN.findall(text) if len(t) >= 2}
+
+
+@dataclass(frozen=True)
+class AutoExample:
+    """A generated example pair plus its matching score.
+
+    Attributes:
+        pair: The (source, target) example.
+        score: Weighted token-overlap score in [0, 1]; higher means the
+            pairing is more likely to be valid.
+    """
+
+    pair: ExamplePair
+    score: float
+
+
+class AutoExampleGenerator:
+    """Generates (possibly noisy) example pairs via token matching.
+
+    Args:
+        min_score: Minimum overlap score for a pairing to be kept.
+        max_examples: Cap on the returned example-pool size.
+    """
+
+    def __init__(self, min_score: float = 0.25, max_examples: int = 20) -> None:
+        if not 0.0 <= min_score <= 1.0:
+            raise ValueError(f"min_score must be in [0, 1], got {min_score}")
+        self.min_score = min_score
+        self.max_examples = max_examples
+
+    def generate(
+        self, sources: Sequence[str], targets: Sequence[str]
+    ) -> list[AutoExample]:
+        """Pair source and target rows sharing distinctive tokens.
+
+        Returns mutually-best pairings sorted by descending score; each
+        source and each target appears in at most one pairing.
+        """
+        source_tokens = [_tokens(s) for s in sources]
+        target_tokens = [_tokens(t) for t in targets]
+
+        # IDF-style token weights over both columns.
+        frequency: Counter = Counter()
+        for tokens in source_tokens:
+            frequency.update(tokens)
+        for tokens in target_tokens:
+            frequency.update(tokens)
+        total_rows = max(1, len(sources) + len(targets))
+
+        def weight(token: str) -> float:
+            return math.log(1.0 + total_rows / frequency[token])
+
+        scored: list[tuple[float, int, int]] = []
+        for i, s_tokens in enumerate(source_tokens):
+            if not s_tokens:
+                continue
+            s_weight = sum(weight(t) for t in s_tokens)
+            for j, t_tokens in enumerate(target_tokens):
+                shared = s_tokens & t_tokens
+                if not shared:
+                    continue
+                t_weight = sum(weight(t) for t in t_tokens)
+                overlap = sum(weight(t) for t in shared)
+                denominator = min(s_weight, t_weight)
+                if denominator <= 0.0:
+                    continue
+                score = overlap / denominator
+                if score >= self.min_score:
+                    scored.append((score, i, j))
+
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        used_sources: set[int] = set()
+        used_targets: set[int] = set()
+        out: list[AutoExample] = []
+        for score, i, j in scored:
+            if i in used_sources or j in used_targets:
+                continue
+            used_sources.add(i)
+            used_targets.add(j)
+            out.append(
+                AutoExample(
+                    pair=ExamplePair(sources[i], targets[j]),
+                    score=min(1.0, score),
+                )
+            )
+            if len(out) >= self.max_examples:
+                break
+        return out
+
+    def example_pool(
+        self, sources: Sequence[str], targets: Sequence[str]
+    ) -> list[ExamplePair]:
+        """Convenience: just the example pairs, ready for the pipeline."""
+        return [auto.pair for auto in self.generate(sources, targets)]

@@ -1,0 +1,48 @@
+"""Example-noise injection (paper §5.10).
+
+The noise experiments replace the *target* of randomly selected example
+pairs with random text — the automatically-generated-examples failure
+mode — while the test rows stay clean.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datagen.random_text import RandomTextSampler
+from repro.types import ExamplePair
+from repro.utils.rng import derive_rng
+
+
+def inject_example_noise(
+    examples: Sequence[ExamplePair],
+    ratio: float,
+    seed: int = 0,
+) -> list[ExamplePair]:
+    """Replace a fraction of example targets with random text.
+
+    Args:
+        examples: The clean example pool.
+        ratio: Fraction of examples to corrupt, in [0, 1].
+        seed: Seed for reproducible corruption.
+
+    Returns:
+        A new example list with ``round(ratio * len)`` corrupted targets.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"ratio must be in [0, 1], got {ratio}")
+    examples = list(examples)
+    if ratio == 0.0 or not examples:
+        return examples
+    rng = derive_rng(seed, "example-noise", ratio, len(examples))
+    sampler = RandomTextSampler(min_length=6, max_length=20)
+    count = int(round(ratio * len(examples)))
+    picks = rng.choice(len(examples), size=min(count, len(examples)), replace=False)
+    noisy = examples[:]
+    for pick in picks:
+        index = int(pick)
+        noisy[index] = ExamplePair(
+            source=examples[index].source,
+            target=sampler.sample(rng),
+        )
+    return noisy

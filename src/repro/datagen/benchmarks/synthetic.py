@@ -1,0 +1,178 @@
+"""Synthetic evaluation datasets: Syn, Syn-RP, Syn-ST, Syn-RV (paper §5.2).
+
+* **Syn** — each table applies a randomly generated transformation of
+  3-6 units (same repertoire as training, but unseen parameterizations)
+  to random inputs.
+* **Syn-RP** (easy) — one random character replaced by another; the
+  replace operation is *not* a training unit.
+* **Syn-ST** (medium) — a single ``substring`` unit with random
+  start/end; substring *is* a training unit.
+* **Syn-RV** (hard) — the target reverses all characters of the source;
+  never seen in training and nearly every character must change.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.random_text import RandomTextSampler
+from repro.transforms.composer import Transformation, TransformationComposer
+from repro.transforms.units import Replace, Reverse, Substring
+from repro.types import TablePair
+from repro.utils.rng import derive_rng
+
+_REPLACE_CANDIDATES = [
+    ("/", "-"), ("-", "/"), (" ", "_"), (".", ","), (":", ";"),
+    ("a", "@"), ("o", "0"), ("e", "3"), ("_", " "), (",", "."),
+]
+
+
+def _unique_rows(
+    sampler: RandomTextSampler,
+    transform,
+    rng,
+    rows: int,
+    max_attempts: int = 40,
+) -> tuple[list[str], list[str]]:
+    """Sample rows whose targets are usable (non-empty, mostly distinct)."""
+    sources: list[str] = []
+    targets: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(sources) < rows and attempts < rows * max_attempts:
+        attempts += 1
+        source = sampler.sample(rng)
+        if source in seen:
+            continue
+        target = transform(source)
+        if not target:
+            continue
+        seen.add(source)
+        sources.append(source)
+        targets.append(target)
+    return sources, targets
+
+
+def build_syn(
+    seed: int = 0,
+    n_tables: int = 10,
+    rows: int = 100,
+    min_length: int = 8,
+    max_length: int = 35,
+) -> list[TablePair]:
+    """Build the general synthetic dataset (random 3-6 unit transforms)."""
+    composer = TransformationComposer(min_units=3, max_units=6)
+    sampler = RandomTextSampler(min_length, max_length)
+    tables: list[TablePair] = []
+    for i in range(n_tables):
+        rng = derive_rng(seed, "syn", i)
+        for _ in range(32):
+            transformation = composer.sample(rng)
+            sources, targets = _unique_rows(sampler, transformation.apply, rng, rows)
+            # Require enough distinct targets that the join is meaningful.
+            if len(sources) >= rows and len(set(targets)) >= rows // 2:
+                break
+        tables.append(
+            TablePair(
+                name=f"syn-{i}",
+                sources=tuple(sources),
+                targets=tuple(targets),
+                dataset="Syn",
+                topic="random-transformation",
+                metadata={"transformation": transformation.describe()},
+            )
+        )
+    return tables
+
+
+def build_syn_rp(
+    seed: int = 0,
+    n_tables: int = 5,
+    rows: int = 50,
+    min_length: int = 8,
+    max_length: int = 35,
+) -> list[TablePair]:
+    """Build the easy dataset: replace one character with another."""
+    sampler = RandomTextSampler(min_length, max_length, separator_rate=0.2)
+    tables: list[TablePair] = []
+    for i in range(n_tables):
+        rng = derive_rng(seed, "syn-rp", i)
+        old, new = _REPLACE_CANDIDATES[i % len(_REPLACE_CANDIDATES)]
+        unit = Replace(old=old, new=new)
+
+        def transform(source: str, unit=unit, old=old) -> str:
+            # Ensure the replaced character actually occurs.
+            return unit.apply(source) if old in source else ""
+
+        sources, targets = _unique_rows(sampler, transform, rng, rows)
+        tables.append(
+            TablePair(
+                name=f"syn-rp-{i}",
+                sources=tuple(sources),
+                targets=tuple(targets),
+                dataset="Syn-RP",
+                topic="char-replace",
+                metadata={"replace": f"{old!r}->{new!r}"},
+            )
+        )
+    return tables
+
+
+def build_syn_st(
+    seed: int = 0,
+    n_tables: int = 5,
+    rows: int = 50,
+    min_length: int = 8,
+    max_length: int = 35,
+) -> list[TablePair]:
+    """Build the medium dataset: a single substring unit."""
+    sampler = RandomTextSampler(min_length, max_length)
+    tables: list[TablePair] = []
+    for i in range(n_tables):
+        rng = derive_rng(seed, "syn-st", i)
+        start = int(rng.integers(0, 6))
+        length = int(rng.integers(4, 12))
+        unit = Substring(start=start, end=start + length)
+        transformation = Transformation(units=(unit,))
+
+        def transform(source: str) -> str:
+            if len(source) < start + length:
+                return ""
+            return transformation.apply(source)
+
+        sources, targets = _unique_rows(sampler, transform, rng, rows)
+        tables.append(
+            TablePair(
+                name=f"syn-st-{i}",
+                sources=tuple(sources),
+                targets=tuple(targets),
+                dataset="Syn-ST",
+                topic="substring",
+                metadata={"substring": unit.describe()},
+            )
+        )
+    return tables
+
+
+def build_syn_rv(
+    seed: int = 0,
+    n_tables: int = 5,
+    rows: int = 50,
+    min_length: int = 8,
+    max_length: int = 35,
+) -> list[TablePair]:
+    """Build the hard dataset: reverse all characters."""
+    sampler = RandomTextSampler(min_length, max_length)
+    unit = Reverse()
+    tables: list[TablePair] = []
+    for i in range(n_tables):
+        rng = derive_rng(seed, "syn-rv", i)
+        sources, targets = _unique_rows(sampler, unit.apply, rng, rows)
+        tables.append(
+            TablePair(
+                name=f"syn-rv-{i}",
+                sources=tuple(sources),
+                targets=tuple(targets),
+                dataset="Syn-RV",
+                topic="reverse",
+            )
+        )
+    return tables

@@ -1,0 +1,70 @@
+"""Random source-string sampling (paper §5.1.2).
+
+Training sources are random mixes of alphabetic and numeric characters,
+symbols, and separators — deliberately *not* dictionary words, to avoid
+biasing the model towards any natural language.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_LOWER = "abcdefghijklmnopqrstuvwxyz"
+_UPPER = _LOWER.upper()
+_DIGITS = "0123456789"
+_SYMBOLS = "!#$%&*+=?@^~"
+_SEPARATORS = " -_./,:;"
+
+
+class RandomTextSampler:
+    """Samples random strings with a table-cell-like character mix.
+
+    Args:
+        min_length: Shortest string to generate (inclusive).
+        max_length: Longest string to generate (inclusive).
+        separator_rate: Probability that a position holds a separator,
+            which creates the token structure that ``split`` units need.
+    """
+
+    def __init__(
+        self,
+        min_length: int = 8,
+        max_length: int = 35,
+        separator_rate: float = 0.15,
+    ) -> None:
+        if min_length < 1 or max_length < min_length:
+            raise ValueError(
+                f"invalid length range: [{min_length}, {max_length}]"
+            )
+        if not 0.0 <= separator_rate < 1.0:
+            raise ValueError(f"separator_rate must be in [0, 1), got {separator_rate}")
+        self.min_length = min_length
+        self.max_length = max_length
+        self.separator_rate = separator_rate
+        self._content = _LOWER + _UPPER + _DIGITS + _SYMBOLS
+
+    def sample(self, rng: np.random.Generator) -> str:
+        """Sample one random string."""
+        length = int(rng.integers(self.min_length, self.max_length + 1))
+        chars: list[str] = []
+        previous_was_separator = True  # Avoid leading separators.
+        for _ in range(length):
+            use_separator = (
+                not previous_was_separator and rng.random() < self.separator_rate
+            )
+            if use_separator:
+                pool = _SEPARATORS
+            else:
+                pool = self._content
+            chars.append(pool[int(rng.integers(0, len(pool)))])
+            previous_was_separator = use_separator
+        # Avoid a trailing separator, which most units treat as noise.
+        if chars and chars[-1] in _SEPARATORS:
+            chars[-1] = self._content[int(rng.integers(0, len(self._content)))]
+        return "".join(chars)
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Sample ``count`` random strings."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.sample(rng) for _ in range(count)]

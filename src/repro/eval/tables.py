@@ -1,0 +1,60 @@
+"""Plain-text rendering of result tables in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.metrics.report import DatasetReport
+
+
+def render_dataset_table(
+    rows: Mapping[str, Mapping[str, DatasetReport]],
+    methods: Sequence[str],
+    columns: Sequence[str] = ("P", "R", "F"),
+    title: str = "",
+) -> str:
+    """Render ``rows[dataset][method]`` reports as an aligned text table.
+
+    Args:
+        rows: Dataset name -> method name -> report.
+        methods: Column-group order.
+        columns: Metrics per method; any of P, R, F, AED, ANED, s.
+        title: Optional heading line.
+    """
+    getters = {
+        "P": lambda r: f"{r.precision:.3f}",
+        "R": lambda r: f"{r.recall:.3f}",
+        "F": lambda r: f"{r.f1:.3f}",
+        "AED": lambda r: f"{r.aed:.3f}",
+        "ANED": lambda r: f"{r.aned:.3f}",
+        "s": lambda r: f"{r.seconds:.1f}",
+    }
+    for column in columns:
+        if column not in getters:
+            raise ValueError(f"unknown column {column!r}")
+
+    header = ["Dataset"]
+    for method in methods:
+        for column in columns:
+            header.append(f"{method}:{column}")
+    body: list[list[str]] = []
+    for dataset, per_method in rows.items():
+        line = [dataset]
+        for method in methods:
+            report = per_method.get(method)
+            for column in columns:
+                line.append(getters[column](report) if report else "-")
+        body.append(line)
+
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in body:
+        out.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(out)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SerializationError(ReproError):
+    """Raised when a sub-task prompt cannot be serialized or parsed."""
+
+
+class TokenizationError(ReproError):
+    """Raised when text cannot be tokenized or decoded."""
+
+
+class ModelError(ReproError):
+    """Raised by sequence models for invalid configuration or inputs."""
+
+
+class ShapeError(ModelError):
+    """Raised when a tensor has an unexpected shape."""
+
+
+class TransformError(ReproError):
+    """Raised when a transformation unit receives invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be generated or loaded."""
+
+
+class KnowledgeBaseError(ReproError):
+    """Raised for unknown relations or malformed KB queries."""
+
+
+class JoinError(ReproError):
+    """Raised when a join cannot be performed (e.g. empty target table)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment runner for invalid experiment specs."""

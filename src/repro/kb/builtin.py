@@ -1,0 +1,201 @@
+"""Built-in world knowledge for the KBWT benchmark and the LLM surrogate.
+
+Relations marked *parametric* (ISBN → author, city → zip) are generated
+pseudo-randomly at build time: they stand in for KB content that no
+amount of general world knowledge or textual pattern matching recovers —
+the paper's 'City To Zip' / 'ISBN To Author' failure cases (§5.5).
+"""
+
+from __future__ import annotations
+
+from repro.kb.store import KnowledgeBase, Relation
+from repro.utils.rng import derive_rng
+
+US_STATE_ABBREVIATIONS: dict[str, str] = {
+    "Alabama": "AL", "Alaska": "AK", "Arizona": "AZ", "Arkansas": "AR",
+    "California": "CA", "Colorado": "CO", "Connecticut": "CT",
+    "Delaware": "DE", "Florida": "FL", "Georgia": "GA", "Hawaii": "HI",
+    "Idaho": "ID", "Illinois": "IL", "Indiana": "IN", "Iowa": "IA",
+    "Kansas": "KS", "Kentucky": "KY", "Louisiana": "LA", "Maine": "ME",
+    "Maryland": "MD", "Massachusetts": "MA", "Michigan": "MI",
+    "Minnesota": "MN", "Mississippi": "MS", "Missouri": "MO",
+    "Montana": "MT", "Nebraska": "NE", "Nevada": "NV",
+    "New Hampshire": "NH", "New Jersey": "NJ", "New Mexico": "NM",
+    "New York": "NY", "North Carolina": "NC", "North Dakota": "ND",
+    "Ohio": "OH", "Oklahoma": "OK", "Oregon": "OR", "Pennsylvania": "PA",
+    "Rhode Island": "RI", "South Carolina": "SC", "South Dakota": "SD",
+    "Tennessee": "TN", "Texas": "TX", "Utah": "UT", "Vermont": "VT",
+    "Virginia": "VA", "Washington": "WA", "West Virginia": "WV",
+    "Wisconsin": "WI", "Wyoming": "WY",
+}
+
+COUNTRY_CAPITALS: dict[str, str] = {
+    "Afghanistan": "Kabul", "Argentina": "Buenos Aires",
+    "Australia": "Canberra", "Austria": "Vienna", "Belgium": "Brussels",
+    "Brazil": "Brasilia", "Canada": "Ottawa", "Chile": "Santiago",
+    "China": "Beijing", "Colombia": "Bogota", "Cuba": "Havana",
+    "Denmark": "Copenhagen", "Egypt": "Cairo", "Ethiopia": "Addis Ababa",
+    "Finland": "Helsinki", "France": "Paris", "Germany": "Berlin",
+    "Ghana": "Accra", "Greece": "Athens", "Hungary": "Budapest",
+    "Iceland": "Reykjavik", "India": "New Delhi", "Indonesia": "Jakarta",
+    "Iran": "Tehran", "Iraq": "Baghdad", "Ireland": "Dublin",
+    "Israel": "Jerusalem", "Italy": "Rome", "Japan": "Tokyo",
+    "Kenya": "Nairobi", "Mexico": "Mexico City", "Morocco": "Rabat",
+    "Netherlands": "Amsterdam", "New Zealand": "Wellington",
+    "Nigeria": "Abuja", "Norway": "Oslo", "Pakistan": "Islamabad",
+    "Peru": "Lima", "Philippines": "Manila", "Poland": "Warsaw",
+    "Portugal": "Lisbon", "Russia": "Moscow", "Saudi Arabia": "Riyadh",
+    "South Africa": "Pretoria", "South Korea": "Seoul", "Spain": "Madrid",
+    "Sweden": "Stockholm", "Switzerland": "Bern", "Thailand": "Bangkok",
+    "Turkey": "Ankara", "Ukraine": "Kyiv", "United Kingdom": "London",
+    "United States": "Washington", "Vietnam": "Hanoi",
+}
+
+COUNTRY_DEMONYMS: dict[str, str] = {
+    "Afghanistan": "Afghan", "Argentina": "Argentine",
+    "Australia": "Australian", "Austria": "Austrian",
+    "Belgium": "Belgian", "Brazil": "Brazilian", "Canada": "Canadian",
+    "Chile": "Chilean", "China": "Chinese", "Colombia": "Colombian",
+    "Cuba": "Cuban", "Denmark": "Danish", "Egypt": "Egyptian",
+    "Ethiopia": "Ethiopian", "Finland": "Finnish", "France": "French",
+    "Germany": "German", "Ghana": "Ghanaian", "Greece": "Greek",
+    "Hungary": "Hungarian", "Iceland": "Icelandic", "India": "Indian",
+    "Indonesia": "Indonesian", "Iran": "Iranian", "Iraq": "Iraqi",
+    "Ireland": "Irish", "Israel": "Israeli", "Italy": "Italian",
+    "Japan": "Japanese", "Kenya": "Kenyan", "Mexico": "Mexican",
+    "Morocco": "Moroccan", "Netherlands": "Dutch",
+    "New Zealand": "New Zealander", "Nigeria": "Nigerian",
+    "Norway": "Norwegian", "Pakistan": "Pakistani", "Peru": "Peruvian",
+    "Philippines": "Filipino", "Poland": "Polish",
+    "Portugal": "Portuguese", "Russia": "Russian",
+    "Saudi Arabia": "Saudi", "South Africa": "South African",
+    "South Korea": "South Korean", "Spain": "Spanish",
+    "Sweden": "Swedish", "Switzerland": "Swiss", "Thailand": "Thai",
+    "Turkey": "Turkish", "Ukraine": "Ukrainian",
+    "United Kingdom": "British", "United States": "American",
+    "Vietnam": "Vietnamese",
+}
+
+COUNTRY_CODES: dict[str, str] = {
+    "Afghanistan": "AF", "Argentina": "AR", "Australia": "AU",
+    "Austria": "AT", "Belgium": "BE", "Brazil": "BR", "Canada": "CA",
+    "Chile": "CL", "China": "CN", "Colombia": "CO", "Cuba": "CU",
+    "Denmark": "DK", "Egypt": "EG", "Ethiopia": "ET", "Finland": "FI",
+    "France": "FR", "Germany": "DE", "Ghana": "GH", "Greece": "GR",
+    "Hungary": "HU", "Iceland": "IS", "India": "IN", "Indonesia": "ID",
+    "Iran": "IR", "Iraq": "IQ", "Ireland": "IE", "Israel": "IL",
+    "Italy": "IT", "Japan": "JP", "Kenya": "KE", "Mexico": "MX",
+    "Morocco": "MA", "Netherlands": "NL", "New Zealand": "NZ",
+    "Nigeria": "NG", "Norway": "NO", "Pakistan": "PK", "Peru": "PE",
+    "Philippines": "PH", "Poland": "PL", "Portugal": "PT",
+    "Russia": "RU", "Saudi Arabia": "SA", "South Africa": "ZA",
+    "South Korea": "KR", "Spain": "ES", "Sweden": "SE",
+    "Switzerland": "CH", "Thailand": "TH", "Turkey": "TR",
+    "Ukraine": "UA", "United Kingdom": "GB", "United States": "US",
+    "Vietnam": "VN",
+}
+
+ELEMENT_SYMBOLS: dict[str, str] = {
+    "Hydrogen": "H", "Helium": "He", "Lithium": "Li", "Beryllium": "Be",
+    "Boron": "B", "Carbon": "C", "Nitrogen": "N", "Oxygen": "O",
+    "Fluorine": "F", "Neon": "Ne", "Sodium": "Na", "Magnesium": "Mg",
+    "Aluminium": "Al", "Silicon": "Si", "Phosphorus": "P", "Sulfur": "S",
+    "Chlorine": "Cl", "Argon": "Ar", "Potassium": "K", "Calcium": "Ca",
+    "Titanium": "Ti", "Chromium": "Cr", "Manganese": "Mn", "Iron": "Fe",
+    "Cobalt": "Co", "Nickel": "Ni", "Copper": "Cu", "Zinc": "Zn",
+    "Gallium": "Ga", "Arsenic": "As", "Bromine": "Br", "Krypton": "Kr",
+    "Silver": "Ag", "Tin": "Sn", "Iodine": "I", "Xenon": "Xe",
+    "Platinum": "Pt", "Gold": "Au", "Mercury": "Hg", "Lead": "Pb",
+    "Uranium": "U", "Tungsten": "W", "Radon": "Rn", "Radium": "Ra",
+}
+
+MONTH_NUMBERS: dict[str, str] = {
+    "January": "01", "February": "02", "March": "03", "April": "04",
+    "May": "05", "June": "06", "July": "07", "August": "08",
+    "September": "09", "October": "10", "November": "11",
+    "December": "12",
+}
+
+CURRENCY_CODES: dict[str, str] = {
+    "Australia": "AUD", "Brazil": "BRL", "Canada": "CAD", "China": "CNY",
+    "Denmark": "DKK", "Egypt": "EGP", "India": "INR", "Indonesia": "IDR",
+    "Israel": "ILS", "Japan": "JPY", "Mexico": "MXN", "Norway": "NOK",
+    "Pakistan": "PKR", "Poland": "PLN", "Russia": "RUB",
+    "Saudi Arabia": "SAR", "South Africa": "ZAR", "South Korea": "KRW",
+    "Sweden": "SEK", "Switzerland": "CHF", "Thailand": "THB",
+    "Turkey": "TRY", "United Kingdom": "GBP", "United States": "USD",
+    "Vietnam": "VND",
+}
+
+_AUTHOR_SURNAMES = (
+    "Smith", "Johnson", "Lee", "Brown", "Garcia", "Miller", "Davis",
+    "Martinez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore",
+    "Jackson", "Martin", "Thompson", "White", "Lopez", "Clark",
+    "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+)
+_AUTHOR_GIVEN = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer",
+    "Michael", "Linda", "David", "Elizabeth", "William", "Barbara",
+    "Richard", "Susan", "Joseph", "Jessica", "Carol", "Daniel",
+    "Nancy", "Matthew",
+)
+_CITY_NAMES = (
+    "Springfield", "Riverton", "Fairview", "Georgetown", "Clinton",
+    "Salem", "Madison", "Franklin", "Arlington", "Ashland", "Dover",
+    "Hudson", "Kingston", "Milton", "Newport", "Oxford", "Burlington",
+    "Manchester", "Clayton", "Dayton", "Lexington", "Milford",
+    "Winchester", "Jackson", "Auburn", "Bristol", "Camden", "Troy",
+    "Florence", "Greenville", "Marion", "Monroe", "Oakland", "Lebanon",
+    "Hamilton", "Quincy", "Sheridan", "Lancaster", "Brighton", "Dublin",
+)
+
+
+def _build_isbn_to_author(seed: int) -> dict[str, str]:
+    """Pseudo-random ISBN → author mapping (parametric KB content)."""
+    rng = derive_rng(seed, "isbn_author")
+    pairs: dict[str, str] = {}
+    for _ in range(120):
+        digits = rng.integers(0, 10, size=9)
+        body = "".join(str(int(d)) for d in digits)
+        isbn = f"978-{body[:1]}-{body[1:4]}-{body[4:9]}-{int(rng.integers(0, 10))}"
+        given = _AUTHOR_GIVEN[int(rng.integers(0, len(_AUTHOR_GIVEN)))]
+        surname = _AUTHOR_SURNAMES[int(rng.integers(0, len(_AUTHOR_SURNAMES)))]
+        pairs[isbn] = f"{given} {surname}"
+    return pairs
+
+
+def _build_city_to_zip(seed: int) -> dict[str, str]:
+    """Pseudo-random city → zip mapping (parametric KB content)."""
+    rng = derive_rng(seed, "city_zip")
+    pairs: dict[str, str] = {}
+    for city in _CITY_NAMES:
+        state = list(US_STATE_ABBREVIATIONS.values())[
+            int(rng.integers(0, len(US_STATE_ABBREVIATIONS)))
+        ]
+        zipcode = f"{int(rng.integers(10000, 99999)):05d}"
+        pairs[f"{city}, {state}"] = zipcode
+    return pairs
+
+
+def build_default_kb(seed: int = 1234) -> KnowledgeBase:
+    """Assemble the default knowledge base.
+
+    Args:
+        seed: Seed for the parametric (pseudo-random) relations, so the
+            benchmark is reproducible.
+    """
+    kb = KnowledgeBase()
+    kb.add_relation(Relation("state_to_abbreviation", dict(US_STATE_ABBREVIATIONS)))
+    kb.add_relation(Relation("country_to_capital", dict(COUNTRY_CAPITALS)))
+    kb.add_relation(Relation("country_to_citizen", dict(COUNTRY_DEMONYMS)))
+    kb.add_relation(Relation("country_to_code", dict(COUNTRY_CODES)))
+    kb.add_relation(Relation("element_to_symbol", dict(ELEMENT_SYMBOLS)))
+    kb.add_relation(Relation("month_to_number", dict(MONTH_NUMBERS)))
+    kb.add_relation(Relation("country_to_currency", dict(CURRENCY_CODES)))
+    kb.add_relation(
+        Relation("isbn_to_author", _build_isbn_to_author(seed), parametric=True)
+    )
+    kb.add_relation(
+        Relation("city_to_zip", _build_city_to_zip(seed), parametric=True)
+    )
+    return kb

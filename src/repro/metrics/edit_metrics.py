@@ -1,0 +1,48 @@
+"""Average (normalized) edit distance — AED and ANED (paper §5.4).
+
+These measure how far *predicted strings* are from the ground-truth
+targets, independent of whether the join succeeded.  ANED normalizes by
+target length so scores are comparable across datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.text.edit_distance import edit_distance, normalized_edit_distance
+
+
+@dataclass(frozen=True)
+class EditScores:
+    """Edit-distance aggregates for one table.
+
+    Attributes:
+        aed: Average edit distance between predictions and targets.
+        aned: Average normalized edit distance.
+        count: Number of scored rows.
+    """
+
+    aed: float
+    aned: float
+    count: int
+
+
+def score_edits(predictions: Sequence[str], targets: Sequence[str]) -> EditScores:
+    """Compute AED/ANED for aligned prediction/target columns."""
+    if len(predictions) != len(targets):
+        raise ValueError(
+            f"predictions ({len(predictions)}) and targets ({len(targets)}) "
+            "must be aligned"
+        )
+    if not predictions:
+        return EditScores(aed=0.0, aned=0.0, count=0)
+    distances = [edit_distance(p, t) for p, t in zip(predictions, targets)]
+    normalized = [
+        normalized_edit_distance(p, t) for p, t in zip(predictions, targets)
+    ]
+    return EditScores(
+        aed=sum(distances) / len(distances),
+        aned=sum(normalized) / len(normalized),
+        count=len(predictions),
+    )

@@ -1,0 +1,57 @@
+"""Join precision / recall / F1 (paper §5.4).
+
+A prediction is *correct* when the join (Eq. 5 argmin) selects the
+ground-truth target row.  Precision is the fraction of *matched* rows
+that are correct; recall is the fraction of *all* source rows that are
+correctly mapped (rows may stay unmatched — footnote 2); F1 is their
+harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.types import JoinResult
+
+
+@dataclass(frozen=True)
+class JoinScores:
+    """Precision / recall / F1 for one table join.
+
+    Attributes:
+        precision: Correct matches over attempted matches.
+        recall: Correct matches over all source rows.
+        f1: Harmonic mean of precision and recall.
+        matched: Number of source rows that produced a match.
+        correct: Number of matches equal to the ground truth.
+        total: Number of source rows.
+    """
+
+    precision: float
+    recall: float
+    f1: float
+    matched: int
+    correct: int
+    total: int
+
+
+def score_join(results: Sequence[JoinResult]) -> JoinScores:
+    """Score a joined table against its ground truth."""
+    total = len(results)
+    matched = sum(1 for r in results if r.matched is not None)
+    correct = sum(1 for r in results if r.correct)
+    precision = correct / matched if matched else 0.0
+    recall = correct / total if total else 0.0
+    if precision + recall > 0:
+        f1 = 2 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return JoinScores(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        matched=matched,
+        correct=correct,
+        total=total,
+    )

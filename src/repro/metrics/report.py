@@ -1,0 +1,79 @@
+"""Per-table and per-dataset reporting.
+
+The paper reports dataset metrics as the average over all tables in the
+dataset (§5.4).  :class:`TableReport` holds one table's scores;
+:class:`DatasetReport` averages them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.edit_metrics import EditScores
+from repro.metrics.join_metrics import JoinScores
+
+
+@dataclass(frozen=True)
+class TableReport:
+    """All scores for one table pair under one method.
+
+    Attributes:
+        table: Table-pair name.
+        method: Method name (e.g. ``"DTT"``, ``"CST"``).
+        join: Join P/R/F1 scores.
+        edits: AED/ANED scores (``None`` for matching-only baselines
+            that produce no predicted strings).
+        seconds: Wall-clock time spent, for the runtime experiments.
+    """
+
+    table: str
+    method: str
+    join: JoinScores
+    edits: EditScores | None = None
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class DatasetReport:
+    """Averages of table reports over one dataset (paper convention).
+
+    Attributes:
+        dataset: Dataset name (e.g. ``"WT"``).
+        method: Method name.
+        precision, recall, f1: Mean join scores over tables.
+        aed, aned: Mean edit scores over tables (0 when unavailable).
+        seconds: Total wall-clock seconds over tables.
+        tables: Number of tables averaged.
+    """
+
+    dataset: str
+    method: str
+    precision: float
+    recall: float
+    f1: float
+    aed: float
+    aned: float
+    seconds: float
+    tables: int
+
+
+def average_reports(
+    dataset: str, method: str, reports: Sequence[TableReport]
+) -> DatasetReport:
+    """Average per-table reports into one dataset row."""
+    if not reports:
+        raise ValueError(f"no table reports to average for {dataset}/{method}")
+    count = len(reports)
+    edits = [r.edits for r in reports if r.edits is not None]
+    return DatasetReport(
+        dataset=dataset,
+        method=method,
+        precision=sum(r.join.precision for r in reports) / count,
+        recall=sum(r.join.recall for r in reports) / count,
+        f1=sum(r.join.f1 for r in reports) / count,
+        aed=sum(e.aed for e in edits) / len(edits) if edits else 0.0,
+        aned=sum(e.aned for e in edits) / len(edits) if edits else 0.0,
+        seconds=sum(r.seconds for r in reports),
+        tables=count,
+    )

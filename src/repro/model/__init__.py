@@ -1,0 +1,14 @@
+"""The trainable byte-level seq2seq model (paper §4.2 at laptop scale).
+
+:class:`ByteSeq2SeqModel` wraps the numpy transformer with the byte
+tokenizer and implements the same ``SequenceModel`` protocol as the
+surrogates, so a freshly trained model drops into the DTT pipeline
+unchanged.  :class:`Trainer` runs the §5.1 training recipe over
+synthetic transformation groupings.
+"""
+
+from repro.model.config import DTTModelConfig
+from repro.model.seq2seq import ByteSeq2SeqModel
+from repro.model.trainer import Trainer, TrainingReport
+
+__all__ = ["DTTModelConfig", "ByteSeq2SeqModel", "Trainer", "TrainingReport"]

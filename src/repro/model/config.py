@@ -1,0 +1,61 @@
+"""Model hyper-parameter configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class DTTModelConfig:
+    """Hyper-parameters of the byte-level seq2seq transformer.
+
+    The defaults are a laptop-scale rendition of ByT5-base's design:
+    unbalanced stacks (encoder deeper than decoder, paper §4.2), GELU
+    FFNs, pre-LN blocks.
+
+    Attributes:
+        dim: Model width.
+        n_heads: Attention heads.
+        encoder_layers: Encoder depth (kept deeper than the decoder).
+        decoder_layers: Decoder depth.
+        ffn_hidden: FFN hidden width.
+        max_input_length: Longest tokenized prompt (the paper's ByT5
+            limit is 512 byte tokens).
+        max_output_length: Decode-length cap.
+        seed: Weight-initialization seed.
+    """
+
+    dim: int = 64
+    n_heads: int = 4
+    encoder_layers: int = 3
+    decoder_layers: int = 1
+    ffn_hidden: int = 128
+    max_input_length: int = 192
+    max_output_length: int = 48
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.encoder_layers < self.decoder_layers:
+            raise ModelError(
+                "the DTT architecture is unbalanced: encoder_layers "
+                f"({self.encoder_layers}) must be >= decoder_layers "
+                f"({self.decoder_layers}) — paper §4.2"
+            )
+        if self.dim % self.n_heads != 0:
+            raise ModelError(
+                f"dim {self.dim} must be divisible by n_heads {self.n_heads}"
+            )
+
+
+#: A deliberately tiny configuration for tests and examples.
+TINY_CONFIG = DTTModelConfig(
+    dim=32,
+    n_heads=2,
+    encoder_layers=2,
+    decoder_layers=1,
+    ffn_hidden=64,
+    max_input_length=96,
+    max_output_length=24,
+)

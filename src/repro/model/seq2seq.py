@@ -1,0 +1,141 @@
+"""Byte-level sequence-to-sequence model over the numpy transformer.
+
+Implements the :class:`~repro.core.interface.SequenceModel` protocol:
+``generate`` consumes serialized DTT prompts and emits decoded strings,
+so a trained instance plugs into :class:`~repro.core.pipeline.DTTPipeline`
+exactly like the pretrained stand-in or the GPT-3 surrogate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.config import DTTModelConfig
+from repro.nn.loss import masked_cross_entropy
+from repro.nn.serialization import load_weights, save_weights
+from repro.nn.transformer import Seq2SeqTransformer
+from repro.tokenizer import ByteTokenizer
+
+
+class ByteSeq2SeqModel:
+    """Trainable byte-level encoder-decoder (paper §4.2).
+
+    Args:
+        config: Hyper-parameters; defaults to the laptop-scale config.
+        tokenizer: Byte tokenizer; a default instance is created.
+    """
+
+    def __init__(
+        self,
+        config: DTTModelConfig | None = None,
+        tokenizer: ByteTokenizer | None = None,
+    ) -> None:
+        self.config = config or DTTModelConfig()
+        self.tokenizer = tokenizer or ByteTokenizer()
+        self.network = Seq2SeqTransformer(
+            vocab_size=self.tokenizer.vocab_size,
+            dim=self.config.dim,
+            n_heads=self.config.n_heads,
+            encoder_layers=self.config.encoder_layers,
+            decoder_layers=self.config.decoder_layers,
+            ffn_hidden=self.config.ffn_hidden,
+            max_length=max(
+                self.config.max_input_length, self.config.max_output_length
+            ),
+            seed=self.config.seed,
+        )
+
+    @property
+    def name(self) -> str:
+        return "ByteSeq2Seq"
+
+    # -- training -----------------------------------------------------------
+
+    def prepare_batch(
+        self, prompts: list[str], labels: list[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Tokenize and pad a (prompts, labels) batch for teacher forcing.
+
+        Returns:
+            ``(input_ids, input_mask, decoder_in, decoder_targets,
+            target_mask)``.  The decoder input starts with ``<sos>`` and
+            the targets end with ``<eos>`` (shifted by one).
+        """
+        vocab = self.tokenizer.vocab
+        encoded_inputs = [
+            self.tokenizer.encode(p)[: self.config.max_input_length]
+            for p in prompts
+        ]
+        input_ids, input_mask = self.tokenizer.pad_batch(encoded_inputs)
+
+        label_limit = self.config.max_output_length - 1
+        encoded_labels = [
+            self.tokenizer.encode_text(label)[:label_limit] for label in labels
+        ]
+        decoder_in_seqs = [[vocab.sos_id] + ids for ids in encoded_labels]
+        target_seqs = [ids + [vocab.eos_id] for ids in encoded_labels]
+        decoder_in, _ = self.tokenizer.pad_batch(decoder_in_seqs)
+        targets, target_mask = self.tokenizer.pad_batch(target_seqs)
+        return input_ids, input_mask, decoder_in, targets, target_mask
+
+    def loss_and_backward(self, prompts: list[str], labels: list[str]) -> float:
+        """One teacher-forced pass: returns the loss, gradients are left
+        in the network's parameters (caller runs the optimizer)."""
+        input_ids, input_mask, decoder_in, targets, target_mask = (
+            self.prepare_batch(prompts, labels)
+        )
+        logits = self.network.forward(input_ids, decoder_in, input_mask)
+        loss, grad_logits = masked_cross_entropy(logits, targets, target_mask)
+        self.network.backward(grad_logits)
+        return loss
+
+    def evaluate_loss(self, prompts: list[str], labels: list[str]) -> float:
+        """Loss without touching gradients (for validation)."""
+        input_ids, input_mask, decoder_in, targets, target_mask = (
+            self.prepare_batch(prompts, labels)
+        )
+        logits = self.network.forward(input_ids, decoder_in, input_mask)
+        loss, _ = masked_cross_entropy(logits, targets, target_mask)
+        return loss
+
+    # -- inference ----------------------------------------------------------
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        """Greedy auto-regressive decoding, batched over prompts."""
+        if not prompts:
+            return []
+        vocab = self.tokenizer.vocab
+        encoded = [
+            self.tokenizer.encode(p)[: self.config.max_input_length]
+            for p in prompts
+        ]
+        input_ids, input_mask = self.tokenizer.pad_batch(encoded)
+        memory = self.network.encode(input_ids, input_mask)
+
+        batch = len(prompts)
+        sequences = np.full((batch, 1), vocab.sos_id, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        for _ in range(self.config.max_output_length - 1):
+            logits = self.network.decode(sequences, memory, input_mask)
+            next_ids = logits[:, -1, :].argmax(axis=-1)
+            next_ids = np.where(finished, vocab.pad_id, next_ids)
+            sequences = np.concatenate([sequences, next_ids[:, None]], axis=1)
+            finished |= next_ids == vocab.eos_id
+            if finished.all():
+                break
+        return [
+            self.tokenizer.decode(row[1:], strip_special=True)
+            for row in sequences
+        ]
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Save network weights to ``path`` (``.npz``)."""
+        save_weights(self.network, path)
+
+    def load(self, path: str | Path) -> None:
+        """Load network weights saved by :meth:`save`."""
+        load_weights(self.network, path)

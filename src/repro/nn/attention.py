@@ -1,0 +1,112 @@
+"""Multi-head attention with hand-derived backward pass.
+
+Supports self-attention (queries, keys, values from one sequence),
+cross-attention (keys/values from encoder memory), causal masking for
+the auto-regressive decoder, and key padding masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.functional import softmax, softmax_backward
+from repro.nn.layers import Dense
+from repro.nn.parameter import Module
+
+_NEG_INF = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention over ``n_heads`` heads.
+
+    Args:
+        dim: Model width (must divide evenly by ``n_heads``).
+        n_heads: Number of attention heads.
+        rng: Initializer random source.
+        causal: Apply a lower-triangular mask (decoder self-attention).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        causal: bool = False,
+    ) -> None:
+        if dim % n_heads != 0:
+            raise ModelError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.query_proj = Dense(dim, dim, rng)
+        self.key_proj = Dense(dim, dim, rng)
+        self.value_proj = Dense(dim, dim, rng)
+        self.output_proj = Dense(dim, dim, rng)
+        self._cache: tuple | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.n_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, _, length, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+    def forward(
+        self,
+        queries: np.ndarray,
+        keys_values: np.ndarray | None = None,
+        key_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Attend ``queries`` over ``keys_values`` (self-attend if None).
+
+        Args:
+            queries: ``(batch, q_len, dim)``.
+            keys_values: ``(batch, kv_len, dim)`` or None for self-attn.
+            key_mask: ``(batch, kv_len)`` with 1.0 for real tokens.
+        """
+        source = queries if keys_values is None else keys_values
+        q = self._split_heads(self.query_proj.forward(queries))
+        k = self._split_heads(self.key_proj.forward(source))
+        v = self._split_heads(self.value_proj.forward(source))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if key_mask is not None:
+            scores = scores + (1.0 - key_mask[:, None, None, :]) * _NEG_INF
+        if self.causal:
+            q_len, kv_len = scores.shape[-2], scores.shape[-1]
+            causal_mask = np.tril(np.ones((q_len, kv_len)))
+            scores = scores + (1.0 - causal_mask) * _NEG_INF
+        probs = softmax(scores, axis=-1)
+        context = probs @ v
+        output = self.output_proj.forward(self._merge_heads(context))
+        self._cache = (q, k, v, probs, scale, keys_values is None)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Backprop; returns ``(d_queries, d_keys_values)``.
+
+        ``d_keys_values`` is ``None`` for self-attention (already folded
+        into ``d_queries``).
+        """
+        assert self._cache is not None, "forward must run before backward"
+        q, k, v, probs, scale, is_self = self._cache
+        grad_context = self._split_heads(self.output_proj.backward(grad_output))
+
+        grad_probs = grad_context @ v.transpose(0, 1, 3, 2)
+        grad_v = probs.transpose(0, 1, 3, 2) @ grad_context
+        grad_scores = softmax_backward(probs, grad_probs, axis=-1)
+        grad_q = (grad_scores @ k) * scale
+        grad_k = (grad_scores.transpose(0, 1, 3, 2) @ q) * scale
+
+        d_queries = self.query_proj.backward(self._merge_heads(grad_q))
+        d_source = self.key_proj.backward(self._merge_heads(grad_k))
+        d_source = d_source + self.value_proj.backward(self._merge_heads(grad_v))
+        if is_self:
+            return d_queries + d_source, None
+        return d_queries, d_source

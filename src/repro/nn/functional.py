@@ -1,0 +1,48 @@
+"""Stateless numerical functions with hand-derived gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(
+    probs: np.ndarray, grad_output: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Gradient of softmax given its output ``probs``."""
+    dot = (grad_output * probs).sum(axis=axis, keepdims=True)
+    return probs * (grad_output - dot)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation, as in most transformers)."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def gelu_backward(x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+    """Gradient of the tanh-approximated GELU."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+    return grad_output * derivative
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """ReLU activation."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU."""
+    return grad_output * (x > 0.0)

@@ -1,0 +1,46 @@
+"""Masked cross-entropy over logits, with the gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.functional import softmax
+
+
+def masked_cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Average cross-entropy over unmasked positions.
+
+    Args:
+        logits: ``(batch, length, vocab)`` unnormalized scores.
+        targets: ``(batch, length)`` integer labels.
+        mask: ``(batch, length)`` with 1.0 at positions that count.
+
+    Returns:
+        ``(loss, grad_logits)`` where ``grad_logits`` is the gradient of
+        the mean loss with respect to ``logits``.
+    """
+    if logits.shape[:2] != targets.shape:
+        raise ShapeError(
+            f"logits {logits.shape} and targets {targets.shape} disagree"
+        )
+    if mask is None:
+        mask = np.ones(targets.shape, dtype=np.float64)
+    count = float(mask.sum())
+    if count == 0:
+        return 0.0, np.zeros_like(logits)
+
+    probs = softmax(logits, axis=-1)
+    batch_idx, time_idx = np.indices(targets.shape)
+    picked = probs[batch_idx, time_idx, targets]
+    log_likelihood = np.log(np.clip(picked, 1e-12, None))
+    loss = float(-(log_likelihood * mask).sum() / count)
+
+    grad = probs.copy()
+    grad[batch_idx, time_idx, targets] -= 1.0
+    grad *= mask[:, :, None] / count
+    return loss, grad

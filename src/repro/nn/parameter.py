@@ -1,0 +1,90 @@
+"""Parameters and the module base class."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes:
+        value: The parameter tensor.
+        grad: Accumulated gradient, same shape as ``value``.
+        name: Dotted path used by the optimizer and serialization.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add a gradient contribution, validating the shape."""
+        if grad.shape != self.value.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} != parameter shape "
+                f"{self.value.shape} for {self.name!r}"
+            )
+        self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: recursive parameter discovery over attributes.
+
+    Subclasses implement ``forward`` (storing whatever cache their
+    ``backward`` needs) and ``backward``.
+    """
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its submodules, in a
+        deterministic order."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(found, seen, prefix="")
+        return found
+
+    def _collect(self, found: list[Parameter], seen: set[int], prefix: str) -> None:
+        for key in sorted(vars(self)):
+            value = vars(self)[key]
+            path = f"{prefix}{key}" if not prefix else f"{prefix}.{key}"
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    if not value.name:
+                        value.name = path
+                    found.append(value)
+            elif isinstance(value, Module):
+                value._collect(found, seen, path)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect(found, seen, f"{path}.{i}")
+                    elif isinstance(item, Parameter):
+                        if id(item) not in seen:
+                            seen.add(id(item))
+                            if not item.name:
+                                item.name = f"{path}.{i}"
+                            found.append(item)
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient to zero."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    @property
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(int(np.prod(p.shape)) for p in self.parameters())

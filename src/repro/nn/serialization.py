@@ -1,0 +1,38 @@
+"""Save/load module weights as ``.npz`` archives keyed by parameter name."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.parameter import Module
+
+
+def save_weights(module: Module, path: str | Path) -> None:
+    """Write every parameter of ``module`` to an ``.npz`` archive."""
+    parameters = module.parameters()
+    names = [p.name for p in parameters]
+    if len(set(names)) != len(names):
+        raise ModelError("duplicate parameter names; cannot serialize")
+    np.savez(Path(path), **{p.name: p.value for p in parameters})
+
+
+def load_weights(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_weights` into ``module``.
+
+    Raises:
+        ModelError: On missing parameters or shape mismatches.
+    """
+    archive = np.load(Path(path))
+    for parameter in module.parameters():
+        if parameter.name not in archive:
+            raise ModelError(f"missing parameter in archive: {parameter.name!r}")
+        stored = archive[parameter.name]
+        if stored.shape != parameter.value.shape:
+            raise ModelError(
+                f"shape mismatch for {parameter.name!r}: archive "
+                f"{stored.shape} vs model {parameter.value.shape}"
+            )
+        parameter.value[...] = stored

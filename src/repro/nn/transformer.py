@@ -1,0 +1,224 @@
+"""Pre-LN transformer blocks and the full encoder-decoder model.
+
+The architecture mirrors ByT5's design choices at reduced scale:
+byte-level vocabulary, learned positional embeddings, pre-layer-norm
+blocks, and an *unbalanced* stack — the encoder deeper than the decoder
+— which the paper adopts for character-level inputs (§4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.functional import gelu, gelu_backward
+from repro.nn.layers import Dense, Embedding, LayerNorm
+from repro.nn.parameter import Module
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with GELU."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator) -> None:
+        self.expand = Dense(dim, hidden, rng)
+        self.contract = Dense(hidden, dim, rng)
+        self._pre_activation: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pre = self.expand.forward(x)
+        self._pre_activation = pre
+        return self.contract.forward(gelu(pre))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._pre_activation is not None
+        grad_hidden = self.contract.backward(grad_output)
+        grad_pre = gelu_backward(self._pre_activation, grad_hidden)
+        return self.expand.backward(grad_pre)
+
+
+class EncoderBlock(Module):
+    """Pre-LN encoder block: self-attention + FFN with residuals."""
+
+    def __init__(
+        self, dim: int, n_heads: int, ffn_hidden: int, rng: np.random.Generator
+    ) -> None:
+        self.attn_norm = LayerNorm(dim)
+        self.attention = MultiHeadAttention(dim, n_heads, rng, causal=False)
+        self.ffn_norm = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, rng)
+
+    def forward(self, x: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+        attended = self.attention.forward(self.attn_norm.forward(x), key_mask=mask)
+        x = x + attended
+        x = x + self.ffn.forward(self.ffn_norm.forward(x))
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output + self.ffn_norm.backward(
+            self.ffn.backward(grad_output)
+        )
+        grad_attn, _ = self.attention.backward(grad)
+        return grad + self.attn_norm.backward(grad_attn)
+
+
+class DecoderBlock(Module):
+    """Pre-LN decoder block: causal self-attn, cross-attn, FFN."""
+
+    def __init__(
+        self, dim: int, n_heads: int, ffn_hidden: int, rng: np.random.Generator
+    ) -> None:
+        self.self_norm = LayerNorm(dim)
+        self.self_attention = MultiHeadAttention(dim, n_heads, rng, causal=True)
+        self.cross_norm = LayerNorm(dim)
+        self.cross_attention = MultiHeadAttention(dim, n_heads, rng, causal=False)
+        self.ffn_norm = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, rng)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        memory_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        x = x + self.self_attention.forward(self.self_norm.forward(x))
+        x = x + self.cross_attention.forward(
+            self.cross_norm.forward(x), keys_values=memory, key_mask=memory_mask
+        )
+        x = x + self.ffn.forward(self.ffn_norm.forward(x))
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Returns ``(d_input, d_memory)``."""
+        grad = grad_output + self.ffn_norm.backward(self.ffn.backward(grad_output))
+        grad_cross_q, grad_memory = self.cross_attention.backward(grad)
+        grad = grad + self.cross_norm.backward(grad_cross_q)
+        grad_self, _ = self.self_attention.backward(grad)
+        grad = grad + self.self_norm.backward(grad_self)
+        assert grad_memory is not None
+        return grad, grad_memory
+
+
+class Seq2SeqTransformer(Module):
+    """Byte-level encoder-decoder transformer (the DTT model class).
+
+    Args:
+        vocab_size: Token vocabulary size (specials + 256 bytes).
+        dim: Model width.
+        n_heads: Attention heads.
+        encoder_layers: Encoder depth.
+        decoder_layers: Decoder depth (ByT5-style unbalanced stacks use
+            a deeper encoder; the default ratio here is 2:1).
+        ffn_hidden: FFN hidden width.
+        max_length: Longest supported sequence (positional table size).
+        seed: Initializer seed.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 64,
+        n_heads: int = 4,
+        encoder_layers: int = 2,
+        decoder_layers: int = 1,
+        ffn_hidden: int = 128,
+        max_length: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if encoder_layers < 1 or decoder_layers < 1:
+            raise ModelError("encoder and decoder need at least one layer each")
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.max_length = max_length
+        self.token_embedding = Embedding(vocab_size, dim, rng)
+        self.position_embedding = Embedding(max_length, dim, rng)
+        self.decoder_token_embedding = Embedding(vocab_size, dim, rng)
+        self.decoder_position_embedding = Embedding(max_length, dim, rng)
+        self.encoder_blocks = [
+            EncoderBlock(dim, n_heads, ffn_hidden, rng)
+            for _ in range(encoder_layers)
+        ]
+        self.encoder_norm = LayerNorm(dim)
+        self.decoder_blocks = [
+            DecoderBlock(dim, n_heads, ffn_hidden, rng)
+            for _ in range(decoder_layers)
+        ]
+        self.decoder_norm = LayerNorm(dim)
+        self.output_proj = Dense(dim, vocab_size, rng)
+        self._cache: tuple | None = None
+
+    # -- forward -----------------------------------------------------------
+
+    def encode(
+        self, input_ids: np.ndarray, input_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Encode input token ids into memory states."""
+        self._check_length(input_ids.shape[1])
+        positions = np.arange(input_ids.shape[1])[None, :].repeat(
+            input_ids.shape[0], axis=0
+        )
+        x = self.token_embedding.forward(input_ids) + self.position_embedding.forward(
+            positions
+        )
+        for block in self.encoder_blocks:
+            x = block.forward(x, input_mask)
+        return self.encoder_norm.forward(x)
+
+    def decode(
+        self,
+        target_ids: np.ndarray,
+        memory: np.ndarray,
+        memory_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decode (teacher-forced) target ids into logits."""
+        self._check_length(target_ids.shape[1])
+        positions = np.arange(target_ids.shape[1])[None, :].repeat(
+            target_ids.shape[0], axis=0
+        )
+        y = self.decoder_token_embedding.forward(
+            target_ids
+        ) + self.decoder_position_embedding.forward(positions)
+        for block in self.decoder_blocks:
+            y = block.forward(y, memory, memory_mask)
+        return self.output_proj.forward(self.decoder_norm.forward(y))
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        target_ids: np.ndarray,
+        input_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Full teacher-forced forward pass returning logits."""
+        memory = self.encode(input_ids, input_mask)
+        logits = self.decode(target_ids, memory, input_mask)
+        self._cache = (input_mask,)
+        return logits
+
+    # -- backward ----------------------------------------------------------
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backprop from logits gradient through decoder then encoder."""
+        grad = self.decoder_norm.backward(self.output_proj.backward(grad_logits))
+        grad_memory_total: np.ndarray | None = None
+        for block in reversed(self.decoder_blocks):
+            grad, grad_memory = block.backward(grad)
+            if grad_memory_total is None:
+                grad_memory_total = grad_memory
+            else:
+                grad_memory_total = grad_memory_total + grad_memory
+        self.decoder_token_embedding.backward(grad)
+        self.decoder_position_embedding.backward(grad)
+
+        assert grad_memory_total is not None
+        grad_enc = self.encoder_norm.backward(grad_memory_total)
+        for block in reversed(self.encoder_blocks):
+            grad_enc = block.backward(grad_enc)
+        self.token_embedding.backward(grad_enc)
+        self.position_embedding.backward(grad_enc)
+
+    def _check_length(self, length: int) -> None:
+        if length > self.max_length:
+            raise ModelError(
+                f"sequence length {length} exceeds max_length {self.max_length}"
+            )

@@ -1,0 +1,107 @@
+"""Substring and subsequence alignment.
+
+The CST baseline (Nobari et al. [31]) anchors its transformation search on
+*common substrings* between source and target examples; the induction
+engine uses the same primitives to locate which pieces of an output were
+copied from the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SubstringMatch:
+    """A maximal common substring between a source and a target string.
+
+    Attributes:
+        text: The shared substring.
+        source_start: Offset of the substring in the source.
+        target_start: Offset of the substring in the target.
+    """
+
+    text: str
+    source_start: int
+    target_start: int
+
+    @property
+    def length(self) -> int:
+        return len(self.text)
+
+
+def longest_common_substring(a: str, b: str) -> str:
+    """Return the longest contiguous substring shared by ``a`` and ``b``."""
+    if not a or not b:
+        return ""
+    best_len = 0
+    best_end = 0
+    previous = [0] * (len(b) + 1)
+    for i in range(1, len(a) + 1):
+        current = [0] * (len(b) + 1)
+        ch = a[i - 1]
+        for j in range(1, len(b) + 1):
+            if ch == b[j - 1]:
+                current[j] = previous[j - 1] + 1
+                if current[j] > best_len:
+                    best_len = current[j]
+                    best_end = i
+        previous = current
+    return a[best_end - best_len : best_end]
+
+
+def longest_common_subsequence(a: str, b: str) -> int:
+    """Return the length of the longest (non-contiguous) common subsequence."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for ch in a:
+        current = [0]
+        for j in range(1, len(b) + 1):
+            if ch == b[j - 1]:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def common_substrings(
+    source: str, target: str, min_length: int = 2
+) -> list[SubstringMatch]:
+    """Enumerate maximal common substrings of length >= ``min_length``.
+
+    A match is *maximal* when it cannot be extended on either side.  The
+    result is sorted by descending length, then by source offset, which
+    is the order CST considers anchors in.
+    """
+    matches: list[SubstringMatch] = []
+    if not source or not target:
+        return matches
+    lengths = [[0] * (len(target) + 1) for _ in range(len(source) + 1)]
+    for i in range(1, len(source) + 1):
+        for j in range(1, len(target) + 1):
+            if source[i - 1] == target[j - 1]:
+                lengths[i][j] = lengths[i - 1][j - 1] + 1
+    for i in range(1, len(source) + 1):
+        for j in range(1, len(target) + 1):
+            run = lengths[i][j]
+            if run < min_length:
+                continue
+            # Maximal: the run must not extend to (i+1, j+1).
+            extends = (
+                i < len(source)
+                and j < len(target)
+                and source[i] == target[j]
+            )
+            if extends:
+                continue
+            matches.append(
+                SubstringMatch(
+                    text=source[i - run : i],
+                    source_start=i - run,
+                    target_start=j - run,
+                )
+            )
+    matches.sort(key=lambda m: (-m.length, m.source_start, m.target_start))
+    return matches

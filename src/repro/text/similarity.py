@@ -1,0 +1,147 @@
+"""Similarity functions used by the AFJ and Ditto baselines.
+
+Auto-FuzzyJoin (Li et al. [25]) programs fuzzy joins from a family of
+similarity functions; Ditto (Li et al. [27]) matches entity pairs from
+learned features.  Both re-implementations draw their features from here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+def char_ngrams(text: str, n: int = 3, pad: bool = True) -> Counter:
+    """Return the multiset of character n-grams of ``text``.
+
+    Args:
+        text: Input string.
+        n: Gram size.
+        pad: When true, pad with ``#`` so edges are represented.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    padded = f"{'#' * (n - 1)}{text}{'#' * (n - 1)}" if pad else text
+    if len(padded) < n:
+        return Counter({padded: 1}) if padded else Counter()
+    return Counter(padded[i : i + n] for i in range(len(padded) - n + 1))
+
+
+def jaccard_similarity(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity over character n-gram sets."""
+    grams_a = set(char_ngrams(a, n))
+    grams_b = set(char_ngrams(b, n))
+    if not grams_a and not grams_b:
+        return 1.0
+    union = grams_a | grams_b
+    if not union:
+        return 0.0
+    return len(grams_a & grams_b) / len(union)
+
+
+def containment_similarity(a: str, b: str, n: int = 3, min_grams: int = 3) -> float:
+    """Containment: gram overlap normalized by the smaller gram set.
+
+    The asymmetric-join similarity AFJ relies on: a target that is a
+    *substring* of the source scores ~1.0 even though plain Jaccard is
+    small.  Unpadded grams, so substrings are genuinely contained; when
+    the smaller side has fewer than ``min_grams`` grams the evidence is
+    degenerate (any 2-character string is 'contained' somewhere) and the
+    score is 0.
+    """
+    grams_a = set(char_ngrams(a, n, pad=False))
+    grams_b = set(char_ngrams(b, n, pad=False))
+    if not grams_a and not grams_b:
+        return 1.0
+    smaller = min(len(grams_a), len(grams_b))
+    if smaller < min_grams:
+        return 0.0
+    return len(grams_a & grams_b) / smaller
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity over lowercase whitespace/punctuation tokens."""
+    tokens_a = set(_tokens(a))
+    tokens_b = set(_tokens(b))
+    if not tokens_a and not tokens_b:
+        return 1.0
+    union = tokens_a | tokens_b
+    if not union:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(union)
+
+
+def cosine_ngram_similarity(a: str, b: str, n: int = 3) -> float:
+    """Cosine similarity over character n-gram count vectors."""
+    grams_a = char_ngrams(a, n)
+    grams_b = char_ngrams(b, n)
+    if not grams_a or not grams_b:
+        return 1.0 if not grams_a and not grams_b else 0.0
+    dot = sum(count * grams_b.get(gram, 0) for gram, count in grams_a.items())
+    norm_a = math.sqrt(sum(c * c for c in grams_a.values()))
+    norm_b = math.sqrt(sum(c * c for c in grams_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity, one of AFJ's similarity-function family."""
+    jaro = _jaro_similarity(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def _jaro_similarity(a: str, b: str) -> float:
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, ch in enumerate(a):
+        low = max(0, i - window)
+        high = min(len(b), i + window + 1)
+        for j in range(low, high):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, was_matched in enumerate(matched_a):
+        if not was_matched:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def _tokens(text: str) -> list[str]:
+    out: list[str] = []
+    current: list[str] = []
+    for ch in text.lower():
+        if ch.isalnum():
+            current.append(ch)
+        elif current:
+            out.append("".join(current))
+            current = []
+    if current:
+        out.append("".join(current))
+    return out

@@ -1,0 +1,116 @@
+"""Byte-level tokenizer with tabular special tokens.
+
+Encodes strings as UTF-8 bytes offset past the special-token ids, exactly
+like ByT5.  Special-token *markup* inside the serialized prompt (for
+example ``<tr>``) is encoded as single ids, never as their constituent
+bytes, so tabular structure is unambiguous to the model.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.exceptions import TokenizationError
+from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+
+_SPECIAL_PATTERN = re.compile(r"(<pad>|<sos>|<eos>|<tr>|<eoe>)")
+
+
+class ByteTokenizer:
+    """UTF-8 byte tokenizer aware of the DTT serialization markup.
+
+    Attributes:
+        vocab: The underlying :class:`Vocabulary`.
+    """
+
+    def __init__(self, special: SpecialTokens | None = None) -> None:
+        self.vocab = Vocabulary(special)
+
+    @property
+    def vocab_size(self) -> int:
+        return self.vocab.size
+
+    def encode_text(self, text: str) -> list[int]:
+        """Encode raw text (no markup) into byte token ids."""
+        offset = self.vocab.byte_offset
+        return [offset + b for b in text.encode("utf-8")]
+
+    def encode(self, prompt: str, add_sos: bool = False, add_eos: bool = False) -> list[int]:
+        """Encode a serialized prompt that may contain special-token markup.
+
+        Args:
+            prompt: Text possibly containing ``<sos>``, ``<tr>``, ``<eoe>``,
+                ``<eos>``, ``<pad>`` markers.
+            add_sos: Prepend a ``<sos>`` id.
+            add_eos: Append an ``<eos>`` id.
+        """
+        ids: list[int] = []
+        if add_sos:
+            ids.append(self.vocab.sos_id)
+        for piece in _SPECIAL_PATTERN.split(prompt):
+            if not piece:
+                continue
+            if _SPECIAL_PATTERN.fullmatch(piece):
+                ids.append(self.vocab.special_id(piece))
+            else:
+                ids.extend(self.encode_text(piece))
+        if add_eos:
+            ids.append(self.vocab.eos_id)
+        return ids
+
+    def decode(self, ids: list[int] | np.ndarray, strip_special: bool = True) -> str:
+        """Decode token ids back to text.
+
+        Args:
+            ids: Token ids.
+            strip_special: When true, special tokens are dropped (and
+                decoding stops at the first ``<eos>``); when false they
+                are rendered as their markup strings.
+        """
+        pieces: list[str] = []
+        byte_buffer = bytearray()
+
+        def flush() -> None:
+            if byte_buffer:
+                pieces.append(byte_buffer.decode("utf-8", errors="replace"))
+                byte_buffer.clear()
+
+        for raw_id in ids:
+            token_id = int(raw_id)
+            if token_id < 0 or token_id >= self.vocab.size:
+                raise TokenizationError(f"token id out of range: {token_id}")
+            if self.vocab.is_special(token_id):
+                if strip_special:
+                    if token_id == self.vocab.eos_id:
+                        break
+                    continue
+                flush()
+                pieces.append(self.vocab.id_to_token(token_id))
+            else:
+                byte_buffer.append(self.vocab.id_to_byte(token_id))
+        flush()
+        return "".join(pieces)
+
+    def pad_batch(
+        self, sequences: list[list[int]], max_length: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pad a batch of id sequences into a dense matrix.
+
+        Returns:
+            ``(ids, mask)`` where ``ids`` has shape ``(batch, length)``
+            and ``mask`` is 1.0 for real tokens, 0.0 for padding.
+        """
+        if not sequences:
+            raise TokenizationError("cannot pad an empty batch")
+        length = max(len(seq) for seq in sequences)
+        if max_length is not None:
+            length = min(length, max_length)
+        ids = np.full((len(sequences), length), self.vocab.pad_id, dtype=np.int64)
+        mask = np.zeros((len(sequences), length), dtype=np.float64)
+        for row, seq in enumerate(sequences):
+            clipped = seq[:length]
+            ids[row, : len(clipped)] = clipped
+            mask[row, : len(clipped)] = 1.0
+        return ids, mask

@@ -1,0 +1,139 @@
+"""Random composition of transformation units (paper §5.1.2).
+
+A :class:`Transformation` is an ordered sequence of units whose outputs
+are concatenated: ``output = u1(x) + u2(x) + ... + uk(x)``.  The
+:class:`TransformationComposer` samples random transformations — random
+unit choices, random parameters, random length, and random stacking up
+to depth 3 — to build the synthetic training corpus and the ``Syn``
+evaluation dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transforms.units import (
+    Literal,
+    Lowercase,
+    Split,
+    Stacked,
+    Substring,
+    TransformationUnit,
+    Uppercase,
+)
+
+_DELIMITERS = " -_./,:;@"
+_LITERAL_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_/"
+)
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """An ordered sequence of units whose outputs are concatenated.
+
+    Attributes:
+        units: The units; the transformation output is the concatenation
+            of each unit applied to the *original* input (paper §5.1.2).
+    """
+
+    units: tuple[TransformationUnit, ...]
+
+    def apply(self, text: str) -> str:
+        """Apply the transformation to ``text``."""
+        return "".join(unit.apply(text) for unit in self.units)
+
+    def describe(self) -> str:
+        """Return a compact description such as ``substr(0:3)+lit('-')``."""
+        return "+".join(unit.describe() for unit in self.units)
+
+    def __call__(self, text: str) -> str:
+        return self.apply(text)
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+class TransformationComposer:
+    """Samples random transformations for training-data generation.
+
+    Args:
+        min_units: Minimum number of top-level units per transformation.
+        max_units: Maximum number of top-level units per transformation.
+        max_stack_depth: Maximum stacking depth (paper uses 3).
+        literal_max_length: Longest literal a ``literal`` unit may emit.
+    """
+
+    def __init__(
+        self,
+        min_units: int = 3,
+        max_units: int = 6,
+        max_stack_depth: int = 3,
+        literal_max_length: int = 3,
+    ) -> None:
+        if min_units < 1 or max_units < min_units:
+            raise ValueError(
+                f"invalid unit-count range: [{min_units}, {max_units}]"
+            )
+        if max_stack_depth < 1:
+            raise ValueError(f"max_stack_depth must be >= 1, got {max_stack_depth}")
+        self.min_units = min_units
+        self.max_units = max_units
+        self.max_stack_depth = max_stack_depth
+        self.literal_max_length = literal_max_length
+
+    def sample(self, rng: np.random.Generator) -> Transformation:
+        """Sample one random transformation."""
+        count = int(rng.integers(self.min_units, self.max_units + 1))
+        units = tuple(self._sample_top_level_unit(rng) for _ in range(count))
+        return Transformation(units)
+
+    def _sample_top_level_unit(self, rng: np.random.Generator) -> TransformationUnit:
+        # Stacked units are the norm (the paper introduces stacking
+        # precisely because flat unit languages are too weak); depth
+        # distribution ≈ {1: 0.3, 2: 0.4, 3: 0.3} for max depth 3.
+        roll = rng.random()
+        if roll < 0.3:
+            depth = 1
+        elif roll < 0.7:
+            depth = min(2, self.max_stack_depth)
+        else:
+            depth = self.max_stack_depth
+        base = self._sample_base_unit(rng, allow_literal=True)
+        if depth == 1 or isinstance(base, Literal):
+            return base
+        stack: list[TransformationUnit] = [base]
+        for _ in range(depth - 1):
+            stack.append(self._sample_base_unit(rng, allow_literal=False))
+        return Stacked(tuple(stack))
+
+    def _sample_base_unit(
+        self, rng: np.random.Generator, allow_literal: bool
+    ) -> TransformationUnit:
+        # Selection units dominate; whole-string case maps are rarer as
+        # standalone units (they mostly appear stacked on a selection),
+        # otherwise nearly every transformation embeds a full copy of
+        # the input and the dataset collapses into trivial similarity.
+        kinds = ["substring"] * 4 + ["split"] * 4 + ["lowercase", "uppercase"]
+        if allow_literal:
+            kinds.extend(["literal"] * 2)
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        if kind == "substring":
+            start = int(rng.integers(0, 8))
+            if rng.random() < 0.3:
+                return Substring(start=start, end=None)
+            length = int(rng.integers(1, 10))
+            return Substring(start=start, end=start + length)
+        if kind == "split":
+            delimiter = _DELIMITERS[int(rng.integers(0, len(_DELIMITERS)))]
+            index = int(rng.integers(-2, 3))
+            return Split(delimiter=delimiter, index=index)
+        if kind == "lowercase":
+            return Lowercase()
+        if kind == "uppercase":
+            return Uppercase()
+        length = int(rng.integers(1, self.literal_max_length + 1))
+        chars = rng.integers(0, len(_LITERAL_ALPHABET), size=length)
+        return Literal("".join(_LITERAL_ALPHABET[int(c)] for c in chars))

@@ -1,0 +1,46 @@
+"""Lightweight wall-clock timing used by the runtime benchmarks (§5.5)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example:
+        >>> watch = Stopwatch()
+        >>> with watch.lap("decompose"):
+        ...     pass
+        >>> "decompose" in watch.laps
+        True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, watch: "Stopwatch", name: str) -> None:
+            self._watch = watch
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._watch.laps[self._name] = (
+                self._watch.laps.get(self._name, 0.0) + elapsed
+            )
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Return a context manager that accumulates time under ``name``."""
+        return Stopwatch._Lap(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded lap times in seconds."""
+        return sum(self.laps.values())

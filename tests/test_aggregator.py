@@ -1,0 +1,97 @@
+"""Tests for prediction aggregation (Eq. 3-4, §5.7)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregator import Aggregator, MultiModelAggregator
+
+
+class _StaticModel:
+    """A SequenceModel returning a fixed answer for every prompt."""
+
+    def __init__(self, answer: str, name: str = "static") -> None:
+        self._answer = answer
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def generate(self, prompts):
+        return [self._answer for _ in prompts]
+
+
+class TestAggregator:
+    def test_majority_wins(self):
+        prediction = Aggregator().aggregate("s", ["a", "b", "a", "a", "c"])
+        assert prediction.value == "a"
+        assert prediction.votes == 3
+
+    def test_empty_candidates_abstain(self):
+        prediction = Aggregator().aggregate("s", [])
+        assert prediction.abstained
+
+    def test_all_empty_candidates_abstain(self):
+        prediction = Aggregator().aggregate("s", ["", "", ""])
+        assert prediction.abstained
+
+    def test_empties_never_beat_content(self):
+        prediction = Aggregator().aggregate("s", ["", "", "", "x"])
+        assert prediction.value == "x"
+
+    def test_tie_broken_towards_consensus(self):
+        # 'abcd' ties with 'zzzz' at 2 votes each, but 'abce' is close
+        # to 'abcd', so 'abcd' has the higher consensus.
+        candidates = ["abcd", "abcd", "zzzz", "zzzz", "abce"]
+        prediction = Aggregator().aggregate("s", candidates)
+        assert prediction.value == "abcd"
+
+    def test_deterministic_tie_break(self):
+        a = Aggregator().aggregate("s", ["x", "y"])
+        b = Aggregator().aggregate("s", ["x", "y"])
+        assert a.value == b.value
+
+    def test_candidates_preserved(self):
+        prediction = Aggregator().aggregate("s", ["a", "b"])
+        assert prediction.candidates == ("a", "b")
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", ""]), min_size=1, max_size=12))
+    @settings(max_examples=100)
+    def test_winner_has_max_votes(self, candidates):
+        prediction = Aggregator().aggregate("s", candidates)
+        non_empty = [c for c in candidates if c]
+        if not non_empty:
+            assert prediction.abstained
+        else:
+            max_count = max(non_empty.count(v) for v in set(non_empty))
+            assert non_empty.count(prediction.value) == max_count
+
+
+class TestMultiModelAggregator:
+    def test_pools_model_outputs(self):
+        ensemble = MultiModelAggregator(
+            [_StaticModel("a", "m1"), _StaticModel("b", "m2")]
+        )
+        candidates = ensemble.generate_candidates(["p1", "p2"])
+        assert candidates == [["a", "b"], ["a", "b"]]
+
+    def test_name_joins_models(self):
+        ensemble = MultiModelAggregator(
+            [_StaticModel("a", "m1"), _StaticModel("b", "m2")]
+        )
+        assert ensemble.name == "m1+m2"
+
+    def test_requires_models(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MultiModelAggregator([])
+
+    def test_consistent_model_dominates_vote(self):
+        # Two trials per model via pooled candidates: the self-consistent
+        # model's answer should win the aggregate (paper §5.7).
+        aggregator = Aggregator()
+        pooled = ["same", "same", "same", "noise1", "noise2", "noise3"]
+        assert aggregator.aggregate("s", pooled).value == "same"

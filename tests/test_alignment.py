@@ -1,0 +1,79 @@
+"""Tests for substring/subsequence alignment."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.alignment import (
+    common_substrings,
+    longest_common_subsequence,
+    longest_common_substring,
+)
+
+letters = st.text(alphabet="abcde", max_size=16)
+
+
+class TestLongestCommonSubstring:
+    def test_basic(self):
+        assert longest_common_substring("Justin Trudeau", "jtrudeau") == "rudeau"
+
+    def test_empty_inputs(self):
+        assert longest_common_substring("", "abc") == ""
+        assert longest_common_substring("abc", "") == ""
+
+    def test_no_overlap(self):
+        assert longest_common_substring("abc", "xyz") == ""
+
+    @given(letters, letters)
+    @settings(max_examples=100)
+    def test_result_is_substring_of_both(self, a, b):
+        result = longest_common_substring(a, b)
+        assert result in a and result in b
+
+    @given(letters)
+    @settings(max_examples=40)
+    def test_self_match(self, a):
+        assert longest_common_substring(a, a) == a
+
+
+class TestLongestCommonSubsequence:
+    def test_basic(self):
+        assert longest_common_subsequence("abcde", "ace") == 3
+
+    def test_empty(self):
+        assert longest_common_subsequence("", "abc") == 0
+
+    @given(letters, letters)
+    @settings(max_examples=100)
+    def test_at_least_substring_length(self, a, b):
+        assert longest_common_subsequence(a, b) >= len(
+            longest_common_substring(a, b)
+        )
+
+    @given(letters, letters)
+    @settings(max_examples=60)
+    def test_symmetric(self, a, b):
+        assert longest_common_subsequence(a, b) == longest_common_subsequence(b, a)
+
+
+class TestCommonSubstrings:
+    def test_finds_maximal_matches(self):
+        matches = common_substrings("abxyzcd", "xyz", min_length=2)
+        assert any(m.text == "xyz" for m in matches)
+
+    def test_respects_min_length(self):
+        matches = common_substrings("ab", "ba", min_length=2)
+        assert matches == []
+
+    def test_sorted_by_length_desc(self):
+        matches = common_substrings("hello world", "world hello", min_length=2)
+        lengths = [m.length for m in matches]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_offsets_are_correct(self):
+        for match in common_substrings("abc def", "def abc", min_length=3):
+            source = "abc def"
+            target = "def abc"
+            assert source[match.source_start : match.source_start + match.length] == match.text
+            assert target[match.target_start : match.target_start + match.length] == match.text

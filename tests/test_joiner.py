@@ -1,0 +1,112 @@
+"""Tests for the edit-distance joiner (Eq. 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joiner import EditDistanceJoiner
+from repro.exceptions import JoinError
+from repro.text.edit_distance import edit_distance
+from repro.types import Prediction
+
+short = st.text(alphabet="abcdef01", min_size=1, max_size=10)
+
+
+class TestMatch:
+    def test_exact_match(self):
+        joiner = EditDistanceJoiner()
+        value, distance = joiner.match("abc", ["xyz", "abc", "abd"])
+        assert value == "abc"
+        assert distance == 0
+
+    def test_closest_match_wins(self):
+        joiner = EditDistanceJoiner()
+        value, distance = joiner.match("jchretien", ["jtrudeau", "jchretein", "kcampbell"])
+        assert value == "jchretein"
+        assert distance == 2
+
+    def test_empty_prediction_unmatched(self):
+        joiner = EditDistanceJoiner()
+        assert joiner.match("", ["a"]) == (None, 0)
+
+    def test_empty_target_column_rejected(self):
+        with pytest.raises(JoinError):
+            EditDistanceJoiner().match("abc", [])
+
+    def test_max_distance_rejects_far_matches(self):
+        joiner = EditDistanceJoiner(max_distance=1)
+        value, distance = joiner.match("aaaa", ["zzzz"])
+        assert value is None
+        assert distance == 4
+
+    def test_normalized_threshold(self):
+        joiner = EditDistanceJoiner(normalized_threshold=0.25)
+        value, _ = joiner.match("abcd", ["abce"])  # distance 1/4 = 0.25: kept
+        assert value == "abce"
+        value, _ = joiner.match("abcd", ["abzz"])  # 2/4 = 0.5: rejected
+        assert value is None
+
+    def test_tie_prefers_earlier_target(self):
+        joiner = EditDistanceJoiner()
+        value, _ = joiner.match("ab", ["ac", "ad"])
+        assert value == "ac"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EditDistanceJoiner(max_distance=-1)
+        with pytest.raises(ValueError):
+            EditDistanceJoiner(normalized_threshold=-0.5)
+
+    @given(short, st.lists(short, min_size=1, max_size=8))
+    @settings(max_examples=150)
+    def test_agrees_with_bruteforce_argmin(self, predicted, targets):
+        joiner = EditDistanceJoiner()
+        value, distance = joiner.match(predicted, targets)
+        best = min(edit_distance(predicted, t) for t in targets)
+        assert distance == best
+        assert edit_distance(predicted, value) == best
+
+
+class TestMatchMany:
+    def test_bounds_filtering(self):
+        joiner = EditDistanceJoiner()
+        matches = joiner.match_many("abc", ["abc", "abd", "azz"], lower=0, upper=1)
+        assert [m[0] for m in matches] == ["abc", "abd"]
+
+    def test_lower_bound_excludes_exact(self):
+        joiner = EditDistanceJoiner()
+        matches = joiner.match_many("abc", ["abc", "abd"], lower=1, upper=1)
+        assert [m[0] for m in matches] == ["abd"]
+
+    def test_sorted_by_distance(self):
+        joiner = EditDistanceJoiner()
+        matches = joiner.match_many("abc", ["abz", "abc"], lower=0, upper=2)
+        distances = [d for _, d in matches]
+        assert distances == sorted(distances)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            EditDistanceJoiner().match_many("a", ["b"], lower=2, upper=1)
+
+    def test_empty_prediction(self):
+        assert EditDistanceJoiner().match_many("", ["a"], 0, 3) == []
+
+
+class TestJoin:
+    def test_join_builds_results(self):
+        joiner = EditDistanceJoiner()
+        predictions = [
+            Prediction(source="s1", value="aaa"),
+            Prediction(source="s2", value=""),
+        ]
+        results = joiner.join(predictions, ["aaa", "bbb"], expected=["aaa", "bbb"])
+        assert results[0].correct
+        assert results[1].matched is None
+        assert not results[1].correct
+
+    def test_join_expected_misaligned(self):
+        joiner = EditDistanceJoiner()
+        with pytest.raises(JoinError):
+            joiner.join([Prediction(source="s", value="v")], ["t"], expected=[])

@@ -1,0 +1,102 @@
+"""Tests for the similarity-function family."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    char_ngrams,
+    containment_similarity,
+    cosine_ngram_similarity,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    token_jaccard,
+)
+
+words = st.text(alphabet="abcdef 123", max_size=20)
+
+
+class TestCharNgrams:
+    def test_counts(self):
+        grams = char_ngrams("aba", n=2, pad=False)
+        assert grams == {"ab": 1, "ba": 1}
+
+    def test_padded_edges(self):
+        grams = char_ngrams("ab", n=2, pad=True)
+        assert "#a" in grams and "b#" in grams
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", n=0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity("hello", "hello") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity("aaaa", "zzzz") == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity("", "") == 1.0
+
+    @given(words, words)
+    @settings(max_examples=100)
+    def test_range_and_symmetry(self, a, b):
+        value = jaccard_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaccard_similarity(b, a))
+
+
+class TestTokenJaccard:
+    def test_order_invariant(self):
+        assert token_jaccard("hello world", "world hello") == 1.0
+
+    def test_case_insensitive(self):
+        assert token_jaccard("Hello", "hello") == 1.0
+
+    def test_partial(self):
+        assert token_jaccard("a b", "b c") == pytest.approx(1 / 3)
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_ngram_similarity("abc", "abc") == pytest.approx(1.0)
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_range(self, a, b):
+        assert 0.0 <= cosine_ngram_similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_winkler_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic example: MARTHA vs MARHTA.
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    def test_empty(self):
+        assert jaro_winkler_similarity("", "abc") == 0.0
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_range(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0
+
+
+class TestContainment:
+    def test_substring_is_contained(self):
+        assert containment_similarity("abcdefghij", "cdefgh") == 1.0
+
+    def test_short_targets_are_degenerate(self):
+        # Two-character strings carry no containment evidence.
+        assert containment_similarity("Wisconsin", "WI") == 0.0
+
+    def test_disjoint(self):
+        assert containment_similarity("aaaaaa", "zzzzzz") == 0.0

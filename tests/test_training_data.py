@@ -1,0 +1,71 @@
+"""Tests for synthetic training-data generation (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serializer import PromptSerializer
+from repro.datagen.training import TrainingDataGenerator
+
+
+class TestTrainingDataGenerator:
+    def test_grouping_shares_one_transformation(self):
+        generator = TrainingDataGenerator(seed=1)
+        grouping = generator.generate_grouping(0)
+        transformation = grouping.transformation
+        for pair in grouping.pairs:
+            assert transformation.apply(pair.source) == pair.target
+
+    def test_grouping_pair_count(self):
+        generator = TrainingDataGenerator(seed=2, pairs_per_grouping=10)
+        assert len(generator.generate_grouping(0).pairs) == 10
+
+    def test_groupings_differ(self):
+        generator = TrainingDataGenerator(seed=3)
+        a = generator.generate_grouping(0)
+        b = generator.generate_grouping(1)
+        assert a.transformation.describe() != b.transformation.describe() or (
+            a.pairs != b.pairs
+        )
+
+    def test_deterministic(self):
+        a = TrainingDataGenerator(seed=4).generate_grouping(5)
+        b = TrainingDataGenerator(seed=4).generate_grouping(5)
+        assert a.pairs == b.pairs
+
+    def test_targets_not_degenerate(self):
+        generator = TrainingDataGenerator(seed=5)
+        for i in range(5):
+            targets = [p.target for p in generator.generate_grouping(i).pairs]
+            assert len(set(targets)) > 1
+
+    def test_source_lengths_in_range(self):
+        generator = TrainingDataGenerator(seed=6, min_length=8, max_length=35)
+        for pair in generator.generate_grouping(0).pairs:
+            assert 8 <= len(pair.source) <= 35
+
+    def test_minimum_pairs_enforced(self):
+        with pytest.raises(ValueError):
+            TrainingDataGenerator(pairs_per_grouping=2)
+
+    def test_instances_are_parseable_prompts(self):
+        generator = TrainingDataGenerator(seed=7)
+        serializer = PromptSerializer()
+        instances = generator.generate_instances(2, subsets_per_grouping=3)
+        assert len(instances) == 6
+        for instance in instances:
+            context, query = serializer.parse(instance.prompt)
+            assert len(context) == 2
+            assert query
+
+    def test_instance_labels_match_hidden_transformation(self):
+        generator = TrainingDataGenerator(seed=8)
+        grouping = generator.generate_grouping(0)
+        serializer = PromptSerializer()
+        for instance in generator.instances_from_grouping(grouping):
+            _, query = serializer.parse(instance.prompt)
+            assert grouping.transformation.apply(query) == instance.label
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingDataGenerator().generate_groupings(-1)

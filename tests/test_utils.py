@@ -1,0 +1,63 @@
+"""Tests for seeded randomness and timing utilities."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.rng import derive_rng, derive_seed, stable_hash
+from repro.utils.timing import Stopwatch
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash("hello") != stable_hash("hellp")
+
+    def test_unicode(self):
+        assert isinstance(stable_hash("héllo→"), int)
+
+
+class TestDeriveSeed:
+    def test_same_keys_same_seed(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_different_keys_differ(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_within_numpy_range(self):
+        for key in range(50):
+            assert 0 <= derive_seed(123, key) < 2**31
+
+
+class TestDeriveRng:
+    def test_reproducible_streams(self):
+        a = derive_rng(5, "x").random(4)
+        b = derive_rng(5, "x").random(4)
+        assert (a == b).all()
+
+    def test_independent_streams(self):
+        a = derive_rng(5, "x").random(4)
+        b = derive_rng(5, "y").random(4)
+        assert (a != b).any()
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        watch = Stopwatch()
+        with watch.lap("work"):
+            time.sleep(0.01)
+        with watch.lap("work"):
+            time.sleep(0.01)
+        assert watch.laps["work"] >= 0.02
+        assert watch.total == watch.laps["work"]
+
+    def test_multiple_names(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            pass
+        with watch.lap("b"):
+            pass
+        assert set(watch.laps) == {"a", "b"}
