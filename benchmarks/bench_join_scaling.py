@@ -1,0 +1,129 @@
+"""Join-engine scaling: brute-force scan vs the q-gram blocked joiner.
+
+Times Eq. 5 matching over target columns of 1k / 5k / 20k rows with a
+realistic query mix (exact predictions, lightly corrupted predictions,
+and unrelated strings) and writes ``BENCH_join_scaling.json`` to the
+repository root so future PRs can track the speedup trajectory.  The
+indexed timing *includes* index construction, amortized over the query
+batch, which is how the pipeline pays for it.
+
+Both engines are exactly equivalent (see ``tests/test_indexed_joiner``),
+so this bench also cross-checks their outputs before trusting the
+clocks.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import persist
+
+from repro.core.joiner import EditDistanceJoiner
+from repro.index import IndexedJoiner
+from repro.utils.fuzz import random_edits, random_unicode_string
+
+_SEED = 7
+_SIZES = (1000, 5000, 20000)
+_QUERIES_PER_SIZE = 30
+# Table-cell-like alphabet (vs the tests' mixed-plane fuzz alphabet).
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_join_scaling.json"
+
+
+def _random_string(rng: random.Random) -> str:
+    return random_unicode_string(
+        rng, max_length=18, min_length=6, alphabet=_ALPHABET
+    )
+
+
+def _workload(rng: random.Random, n_targets: int) -> tuple[list[str], list[str]]:
+    targets = [_random_string(rng) for _ in range(n_targets)]
+    queries = []
+    for _ in range(_QUERIES_PER_SIZE):
+        roll = rng.random()
+        base = rng.choice(targets)
+        if roll < 0.4:
+            queries.append(base)
+        elif roll < 0.8:
+            queries.append(
+                random_edits(rng, base, rng.randint(1, 3), alphabet=_ALPHABET)
+            )
+        else:
+            queries.append(_random_string(rng))
+    return targets, queries
+
+
+def _time_joiner(joiner, queries, targets) -> tuple[float, list]:
+    started = time.perf_counter()
+    results = [joiner.match(query, targets) for query in queries]
+    return time.perf_counter() - started, results
+
+
+def run_join_scaling(seed: int = _SEED) -> dict:
+    """Run the sweep and return the JSON-serializable report."""
+    rows = []
+    for n_targets in _SIZES:
+        rng = random.Random(seed + n_targets)
+        targets, queries = _workload(rng, n_targets)
+        brute_seconds, brute_results = _time_joiner(
+            EditDistanceJoiner(), queries, targets
+        )
+        indexed_seconds, indexed_results = _time_joiner(
+            IndexedJoiner(), queries, targets
+        )
+        assert indexed_results == brute_results, (
+            f"equivalence violated at {n_targets} targets"
+        )
+        rows.append(
+            {
+                "target_rows": n_targets,
+                "queries": len(queries),
+                "brute_seconds": round(brute_seconds, 4),
+                "indexed_seconds": round(indexed_seconds, 4),
+                "speedup": round(brute_seconds / indexed_seconds, 2),
+            }
+        )
+    return {
+        "bench": "join_scaling",
+        "seed": seed,
+        "query_mix": {"exact": 0.4, "corrupted_1_3_edits": 0.4, "random": 0.2},
+        "indexed_includes_index_build": True,
+        "rows": rows,
+    }
+
+
+def test_join_scaling(results_dir):
+    report = run_join_scaling()
+    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = ["Join-engine scaling (seconds per 30-query batch)"]
+    lines.append(
+        "rows".ljust(8) + "brute".rjust(10) + "indexed".rjust(10) + "speedup".rjust(10)
+    )
+    for row in report["rows"]:
+        lines.append(
+            f"{row['target_rows']:<8d}{row['brute_seconds']:>10.3f}"
+            f"{row['indexed_seconds']:>10.3f}{row['speedup']:>9.1f}x"
+        )
+    lines.append(f"\n[json written to {_JSON_PATH}]")
+    persist(results_dir, "join_scaling", "\n".join(lines))
+
+    by_rows = {row["target_rows"]: row for row in report["rows"]}
+    # The acceptance bar for the blocked engine: >= 5x at 20k rows.
+    assert by_rows[20000]["speedup"] >= 5.0, by_rows[20000]
+    # Every measured size should beat brute force outright.
+    assert all(row["speedup"] > 1.0 for row in report["rows"]), report["rows"]
+    # Blocking keeps the largest column cheaper than brute force on the
+    # smallest one — the whole point of sub-linear candidate generation.
+    assert (
+        by_rows[20000]["indexed_seconds"] < by_rows[1000]["brute_seconds"]
+    ), report["rows"]
+
+
+if __name__ == "__main__":
+    report = run_join_scaling()
+    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))

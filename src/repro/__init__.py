@@ -30,6 +30,7 @@ from repro.core import (
     PromptSerializer,
     SequenceModel,
 )
+from repro.index import AutoJoiner, IndexedJoiner, make_joiner
 from repro.surrogate import GPT3Surrogate, PretrainedDTT, TrainingProfile
 from repro.metrics import score_edits, score_join
 from repro.datagen.benchmarks import dataset_names, get_dataset
@@ -48,6 +49,9 @@ __all__ = [
     "Aggregator",
     "MultiModelAggregator",
     "EditDistanceJoiner",
+    "IndexedJoiner",
+    "AutoJoiner",
+    "make_joiner",
     "PretrainedDTT",
     "GPT3Surrogate",
     "TrainingProfile",

@@ -5,6 +5,12 @@ the minimum edit distance.  Exact prediction is unnecessary: small
 discrepancies do not affect the join as long as the true row remains the
 closest.  Optional lower/upper distance bounds support many-to-many
 joins, and abstained predictions produce no match (footnote 2).
+
+This module is the brute-force reference implementation: a scalar scan
+over the whole column with best-so-far cap pruning.  For large target
+columns, :mod:`repro.index` provides a q-gram blocked engine
+(:class:`~repro.index.IndexedJoiner`) with byte-identical results, and
+``DTTPipeline(joiner="auto")`` switches between the two on column size.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.exceptions import JoinError
-from repro.text.edit_distance import edit_distance, edit_distance_capped
+from repro.text.edit_distance import edit_distance_capped
 from repro.types import JoinResult, Prediction
 
 
@@ -50,23 +56,38 @@ class EditDistanceJoiner:
             raise JoinError("cannot join into an empty target column")
         if predicted == "":
             return None, 0
-        best_value: str | None = None
+        best_value, best_distance = self._argmin(predicted, targets)
+        return self._apply_thresholds(best_value, best_distance)
+
+    def _argmin(self, predicted: str, targets: Sequence[str]) -> tuple[str, int]:
+        """Earliest-row argmin over the column (subclasses override this).
+
+        ``predicted`` is non-empty and ``targets`` is non-empty; the
+        thresholds are applied by the caller.
+        """
+        # The sentinel exceeds any real distance, so the first candidate
+        # always replaces it and best_value is never left unset.
+        best_value = targets[0]
         best_distance = len(predicted) + max(len(t) for t in targets) + 1
         for candidate in targets:
             cap = best_distance - 1
-            if cap < 0:
-                break
             distance = edit_distance_capped(predicted, candidate, cap)
             if distance < best_distance:
                 best_distance = distance
                 best_value = candidate
                 if best_distance == 0:
                     break
-        if best_value is None:
-            # All candidates were pruned at cap 0 after an exact match —
-            # cannot happen, but recompute defensively.
-            best_value = min(targets, key=lambda t: edit_distance(predicted, t))
-            best_distance = edit_distance(predicted, best_value)
+        return best_value, best_distance
+
+    def _apply_thresholds(
+        self, best_value: str, best_distance: int
+    ) -> tuple[str | None, int]:
+        """Reject the argmin per ``max_distance`` / ``normalized_threshold``.
+
+        Shared by every strategy so the rejection semantics live in
+        exactly one place — the blocked engines' equivalence guarantee
+        depends on that.
+        """
         if self.max_distance is not None and best_distance > self.max_distance:
             return None, best_distance
         if self.normalized_threshold is not None:
@@ -83,10 +104,7 @@ class EditDistanceJoiner:
         Supports the paper's many-to-many generalization of Eq. 5 where a
         source row may match zero or several target rows.
         """
-        if not targets:
-            raise JoinError("cannot join into an empty target column")
-        if lower > upper:
-            raise ValueError(f"lower ({lower}) must be <= upper ({upper})")
+        self._validate_many(targets, lower, upper)
         matches: list[tuple[str, int]] = []
         if predicted == "":
             return matches
@@ -96,6 +114,14 @@ class EditDistanceJoiner:
                 matches.append((candidate, distance))
         matches.sort(key=lambda item: item[1])
         return matches
+
+    @staticmethod
+    def _validate_many(targets: Sequence[str], lower: int, upper: int) -> None:
+        """Shared argument checks for :meth:`match_many` and overrides."""
+        if not targets:
+            raise JoinError("cannot join into an empty target column")
+        if lower > upper:
+            raise ValueError(f"lower ({lower}) must be <= upper ({upper})")
 
     def join(
         self,

@@ -30,7 +30,12 @@ class DTTPipeline:
         context_size: Example pairs per sub-task context (paper: 2).
         n_trials: Trials per row *per model* (paper: 5).
         seed: Seed for context sampling.
-        joiner: Join strategy; defaults to plain Eq. 5 argmin.
+        joiner: Join strategy; a joiner instance, or one of the strategy
+            names ``"brute"`` / ``"indexed"`` / ``"auto"`` resolved via
+            :func:`repro.index.make_joiner`.  Defaults to ``"auto"``,
+            which is the plain Eq. 5 argmin executed by scalar scan on
+            small target columns and by the q-gram blocked engine on
+            large ones — results are identical either way.
     """
 
     def __init__(
@@ -39,7 +44,7 @@ class DTTPipeline:
         context_size: int = 2,
         n_trials: int = 5,
         seed: int = 0,
-        joiner: EditDistanceJoiner | None = None,
+        joiner: EditDistanceJoiner | str | None = None,
     ) -> None:
         models = [model] if isinstance(model, SequenceModel) else list(model)
         if not models:
@@ -50,7 +55,14 @@ class DTTPipeline:
         )
         self.serializer = PromptSerializer()
         self.aggregator = Aggregator()
-        self.joiner = joiner or EditDistanceJoiner()
+        if joiner is None or isinstance(joiner, str):
+            # Imported lazily: repro.index subclasses the core joiner,
+            # so a module-level import here would be circular.
+            from repro.index import make_joiner
+
+            self.joiner = make_joiner("auto" if joiner is None else joiner)
+        else:
+            self.joiner = joiner
         self.stopwatch = Stopwatch()
 
     @property

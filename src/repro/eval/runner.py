@@ -31,6 +31,8 @@ class DTTJoinerAdapter:
         n_trials: Trials per row per model.
         seed: Context-sampling seed.
         name: Report name; defaults to the pipeline's.
+        joiner: Joiner instance or strategy name (``"brute"`` /
+            ``"indexed"`` / ``"auto"``), forwarded to the pipeline.
     """
 
     def __init__(
@@ -40,7 +42,7 @@ class DTTJoinerAdapter:
         n_trials: int = 5,
         seed: int = 0,
         name: str | None = None,
-        joiner: EditDistanceJoiner | None = None,
+        joiner: EditDistanceJoiner | str | None = None,
     ) -> None:
         self.pipeline = DTTPipeline(
             model,

@@ -1,0 +1,35 @@
+"""Blocked join engine: sub-linear candidate generation for Eq. 5.
+
+The brute joiner scans every target with a scalar DP — O(|sources| x
+|targets| x len^2) — which caps the join at toy column sizes.  This
+package keeps the paper's exact semantics while scaling the target
+column:
+
+* :mod:`repro.index.qgram` — an inverted q-gram index whose length and
+  count filters (Gravano-style bounds) yield a **provably complete**
+  candidate set for any distance cap.
+* :mod:`repro.index.kernel` — :func:`edit_distance_many`, a batched
+  capped edit-distance DP over a padded candidate matrix, vectorized
+  across candidates.
+* :mod:`repro.index.joiner` — :class:`IndexedJoiner` (drop-in,
+  byte-identical results to :class:`~repro.core.joiner.EditDistanceJoiner`),
+  :class:`AutoJoiner` (switches strategy on target-column size), and the
+  :func:`make_joiner` factory used by ``DTTPipeline(joiner="auto")``.
+
+The guarantee throughout is *exact equivalence* with the brute scan —
+enforced by the equivalence test harness in ``tests/`` — so blocking is
+purely a performance choice.
+"""
+
+from repro.index.kernel import edit_distance_many, encode_strings
+from repro.index.qgram import QGramIndex
+from repro.index.joiner import AutoJoiner, IndexedJoiner, make_joiner
+
+__all__ = [
+    "AutoJoiner",
+    "IndexedJoiner",
+    "QGramIndex",
+    "edit_distance_many",
+    "encode_strings",
+    "make_joiner",
+]

@@ -1,0 +1,230 @@
+"""Blocked join strategies, drop-in compatible with the brute joiner.
+
+:class:`IndexedJoiner` resolves Eq. 5's argmin through a
+:class:`~repro.index.qgram.QGramIndex` plus the batched DP kernel, with
+**exact equivalence** to :class:`~repro.core.joiner.EditDistanceJoiner`:
+identical matches, distances, earliest-row tie-breaking, and
+``max_distance`` / ``normalized_threshold`` semantics.  The argmin uses
+iterative cap deepening — candidates within cap ``k`` are generated
+(provably completely), scored, and if none scores ``<= k`` the cap
+doubles; because the candidate set at cap ``k`` contains *every* target
+within ``k``, the first round that finds a distance ``<= k`` has found
+the global minimum and all its ties.
+
+:class:`AutoJoiner` picks the brute scan for small target columns (where
+index construction dominates) and the blocked engine above a row-count
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.joiner import EditDistanceJoiner
+from repro.index.kernel import edit_distance_codes
+from repro.index.qgram import QGramIndex
+
+
+class IndexedJoiner(EditDistanceJoiner):
+    """Q-gram-blocked edit-distance joiner (exactly equivalent to brute).
+
+    The q-gram index for a target column is built on first use and
+    cached while the same ``targets`` object is passed to subsequent
+    calls (so :meth:`join` builds it once).  A length change on the
+    cached object forces a rebuild; same-length in-place edits between
+    calls are undetectable and not supported.
+
+    Args:
+        max_distance: As in :class:`EditDistanceJoiner`.
+        normalized_threshold: As in :class:`EditDistanceJoiner`.
+        q: Gram size for the blocking index.
+    """
+
+    def __init__(
+        self,
+        max_distance: int | None = None,
+        normalized_threshold: float | None = None,
+        q: int = 2,
+    ) -> None:
+        super().__init__(
+            max_distance=max_distance, normalized_threshold=normalized_threshold
+        )
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        self.q = q
+        self._cache: tuple[Sequence[str], int, QGramIndex] | None = None
+
+    def _index_for(self, targets: Sequence[str]) -> QGramIndex:
+        if self._cache is not None:
+            cached_targets, cached_size, cached_index = self._cache
+            # Cheap staleness guard: an in-place append/removal on the
+            # cached object is detectable by length and forces a rebuild
+            # (same-length in-place edits remain undetected/unsupported).
+            if cached_targets is targets and cached_size == len(targets):
+                return cached_index
+        index = QGramIndex(targets, q=self.q)
+        self._cache = (targets, len(targets), index)
+        return index
+
+    def _argmin(self, predicted: str, targets: Sequence[str]) -> tuple[str, int]:
+        """Earliest-row argmin via the blocked index (same contract as brute).
+
+        Guards and threshold rejection stay in the shared
+        :meth:`EditDistanceJoiner.match` / ``_apply_thresholds``; only
+        the argmin strategy differs.
+        """
+        index = self._index_for(targets)
+        if index.value_id(predicted) is not None:
+            return predicted, 0
+        # Any target is within max(len(predicted), longest target), and
+        # at that cap both filters are vacuous, so the loop terminates
+        # with the full column as candidates at the latest.
+        max_cap = max(len(predicted), index.max_length)
+        cap = 1
+        while cap <= max_cap:
+            vids = index.candidates(predicted, cap)
+            if vids.size:
+                batch_codes, batch_lengths = index.batch_codes(vids)
+                distances = edit_distance_codes(
+                    predicted, batch_codes, batch_lengths, cap
+                )
+                best = int(distances.min())
+                if best <= cap:
+                    tied = vids[distances == best]
+                    winner = tied[np.argmin(index.first_rows[tied])]
+                    return index.values[winner], best
+            if cap == max_cap:
+                break
+            cap = min(cap * 2, max_cap)
+        raise RuntimeError(
+            "q-gram blocking produced no match at a vacuous cap; "
+            "the completeness invariant is broken"
+        )
+
+    def match_many(
+        self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
+    ) -> list[tuple[str, int]]:
+        """Identical contract to :meth:`EditDistanceJoiner.match_many`."""
+        self._validate_many(targets, lower, upper)
+        if predicted == "":
+            return []
+        index = self._index_for(targets)
+        vids = index.candidates(predicted, upper)
+        if not vids.size:
+            return []
+        batch_codes, batch_lengths = index.batch_codes(vids)
+        distances = edit_distance_codes(predicted, batch_codes, batch_lengths, upper)
+        keep = (distances >= lower) & (distances <= upper)
+        # The brute scan appends in row order and sorts stably by
+        # distance, i.e. orders by (distance, row); duplicate values
+        # contribute one entry per row.
+        entries = [
+            (int(distance), row, int(vid))
+            for vid, distance in zip(vids[keep], distances[keep])
+            for row in index.rows_for(int(vid))
+        ]
+        entries.sort(key=lambda item: (item[0], item[1]))
+        return [(index.values[vid], distance) for distance, _, vid in entries]
+
+
+class AutoJoiner(EditDistanceJoiner):
+    """Size-adaptive strategy: brute below ``threshold`` rows, else blocked.
+
+    Index construction is linear in the column with a noticeable
+    constant, so tiny columns (the common per-table benchmark case) stay
+    on the scalar scan while large columns get sub-linear candidate
+    generation.  Both delegates are exactly equivalent, so the switch
+    never changes results.
+
+    Args:
+        threshold: Minimum target-column length (in rows) at which the
+            q-gram engine takes over.
+        max_distance: As in :class:`EditDistanceJoiner`.
+        normalized_threshold: As in :class:`EditDistanceJoiner`.
+        q: Gram size for the blocked delegate.
+    """
+
+    DEFAULT_THRESHOLD = 256
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        max_distance: int | None = None,
+        normalized_threshold: float | None = None,
+        q: int = 2,
+    ) -> None:
+        super().__init__(
+            max_distance=max_distance, normalized_threshold=normalized_threshold
+        )
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self._brute = EditDistanceJoiner(
+            max_distance=max_distance, normalized_threshold=normalized_threshold
+        )
+        self._indexed = IndexedJoiner(
+            max_distance=max_distance,
+            normalized_threshold=normalized_threshold,
+            q=q,
+        )
+
+    def _delegate(self, targets: Sequence[str]) -> EditDistanceJoiner:
+        delegate = (
+            self._indexed if len(targets) >= self.threshold else self._brute
+        )
+        # Thresholds are read from this wrapper on every call so that
+        # post-construction mutation (joiner.max_distance = 2) behaves
+        # exactly as it does on a plain EditDistanceJoiner.
+        delegate.max_distance = self.max_distance
+        delegate.normalized_threshold = self.normalized_threshold
+        return delegate
+
+    def match(self, predicted: str, targets: Sequence[str]) -> tuple[str | None, int]:
+        return self._delegate(targets).match(predicted, targets)
+
+    def match_many(
+        self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
+    ) -> list[tuple[str, int]]:
+        return self._delegate(targets).match_many(predicted, targets, lower, upper)
+
+
+def make_joiner(
+    strategy: str = "auto",
+    *,
+    max_distance: int | None = None,
+    normalized_threshold: float | None = None,
+    q: int = 2,
+    auto_threshold: int = AutoJoiner.DEFAULT_THRESHOLD,
+) -> EditDistanceJoiner:
+    """Build a join strategy by name.
+
+    Args:
+        strategy: ``"brute"`` (scalar scan), ``"indexed"`` (q-gram
+            blocked), or ``"auto"`` (switch on target-column size).
+        max_distance: Passed to the joiner.
+        normalized_threshold: Passed to the joiner.
+        q: Gram size for the blocked strategies.
+        auto_threshold: Row-count switch point for ``"auto"``.
+    """
+    if strategy == "brute":
+        return EditDistanceJoiner(
+            max_distance=max_distance, normalized_threshold=normalized_threshold
+        )
+    if strategy == "indexed":
+        return IndexedJoiner(
+            max_distance=max_distance,
+            normalized_threshold=normalized_threshold,
+            q=q,
+        )
+    if strategy == "auto":
+        return AutoJoiner(
+            threshold=auto_threshold,
+            max_distance=max_distance,
+            normalized_threshold=normalized_threshold,
+            q=q,
+        )
+    raise ValueError(
+        f"unknown join strategy {strategy!r}; expected 'brute', 'indexed', or 'auto'"
+    )

@@ -1,0 +1,135 @@
+"""Q-gram inverted index with length and count filtering.
+
+Blocking for the edit-distance join (Eq. 5): given a probe string and a
+distance cap ``k``, return a **provably complete** candidate set — every
+target within edit distance ``k`` is in the set — without scanning the
+whole column.  Two classic filters (Gravano et al., *Approximate String
+Joins in a Database (Almost) for Free*, VLDB 2001) make the set small:
+
+* **Length filter** — an edit operation changes the length by at most 1,
+  so ``|len(t) - len(p)| <= k`` for any match ``t``.
+* **Count filter** — one edit operation destroys at most ``q``
+  overlapping q-grams, so ``p`` and ``t`` must share at least
+  ``(len(p) - q + 1) - k*q`` q-grams.  When that bound is not positive
+  the filter is vacuous and every length-compatible target is returned,
+  preserving completeness.
+
+The shared-gram count used here sums target-side multiplicities over the
+*distinct* grams of the probe, which can only over-count the true
+multiset intersection — the filter only ever admits extra candidates,
+never drops a true match.
+
+Duplicated column values are indexed once: candidates are unique-value
+ids, and :meth:`QGramIndex.rows_for` expands a value back to its
+(ascending) row numbers for row-level semantics such as tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.kernel import encode_strings
+
+
+class QGramIndex:
+    """Inverted q-gram index over a target column.
+
+    Args:
+        targets: The target-column values (duplicates allowed).
+        q: Gram size; 2 suits the short cell values of the benchmarks
+            (longer grams filter better on long strings but make the
+            count bound vacuous sooner).
+    """
+
+    def __init__(self, targets: Sequence[str], q: int = 2) -> None:
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        self.q = q
+        value_ids: dict[str, int] = {}
+        rows: list[list[int]] = []
+        for row, value in enumerate(targets):
+            vid = value_ids.setdefault(value, len(rows))
+            if vid == len(rows):
+                rows.append([])
+            rows[vid].append(row)
+        self.values: list[str] = list(value_ids)
+        self._value_ids = value_ids
+        self._rows = rows
+        self.first_rows = np.fromiter(
+            (r[0] for r in rows), dtype=np.int64, count=len(rows)
+        )
+        self.lengths = np.fromiter(
+            (len(v) for v in self.values), dtype=np.int64, count=len(self.values)
+        )
+        self.max_length = int(self.lengths.max()) if self.lengths.size else 0
+        # Pre-encode the whole column only while the dense matrix stays
+        # modest: one pathologically long cell would otherwise inflate
+        # every row to its width (n * max_len uint32 cells).  Past the
+        # budget, candidate batches are encoded on demand instead —
+        # padded only to the batch's own maximum.
+        if len(self.values) * self.max_length <= self._DENSE_BUDGET:
+            self._codes, _ = encode_strings(self.values)
+        else:
+            self._codes = None
+        postings: dict[str, list[int]] = {}
+        for vid, value in enumerate(self.values):
+            for i in range(len(value) - q + 1):
+                postings.setdefault(value[i : i + q], []).append(vid)
+        self._postings = {
+            gram: np.asarray(vids, dtype=np.int64)
+            for gram, vids in postings.items()
+        }
+
+    # Cells (uint32) allowed for the precomputed code matrix: 1 << 26
+    # cells = 256 MB.  Way above any benchmark column, low enough that a
+    # single corrupt mega-cell cannot balloon index construction.
+    _DENSE_BUDGET = 1 << 26
+
+    def __len__(self) -> int:
+        """Number of distinct values in the index."""
+        return len(self.values)
+
+    def batch_codes(self, value_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(codes, lengths)`` for a candidate batch, kernel-ready.
+
+        Slices the precomputed matrix when it exists, otherwise encodes
+        just the batch (padded to the batch maximum).
+        """
+        if self._codes is not None:
+            return self._codes[value_ids], self.lengths[value_ids]
+        return encode_strings([self.values[int(v)] for v in value_ids])
+
+    def value_id(self, value: str) -> int | None:
+        """Exact-match lookup: the value id, or ``None`` if absent."""
+        return self._value_ids.get(value)
+
+    def rows_for(self, value_id: int) -> list[int]:
+        """Ascending row numbers holding the given value."""
+        return self._rows[value_id]
+
+    def candidates(self, query: str, cap: int) -> np.ndarray:
+        """Value ids of every target possibly within ``cap`` of ``query``.
+
+        Completeness guarantee: any indexed value ``t`` with
+        ``edit_distance(query, t) <= cap`` is in the returned array.
+        The array is ascending (so candidate order is deterministic).
+        """
+        if cap < 0:
+            raise ValueError(f"cap must be >= 0, got {cap}")
+        length_ok = np.abs(self.lengths - len(query)) <= cap
+        n_query_grams = len(query) - self.q + 1
+        bound = n_query_grams - cap * self.q
+        if bound <= 0:
+            return np.nonzero(length_ok)[0]
+        grams = {query[i : i + self.q] for i in range(n_query_grams)}
+        arrays = [
+            self._postings[gram] for gram in grams if gram in self._postings
+        ]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        counts = np.bincount(
+            np.concatenate(arrays), minlength=len(self.values)
+        )
+        return np.nonzero(length_ok & (counts >= bound))[0]

@@ -16,6 +16,21 @@ from __future__ import annotations
 import numpy as np
 
 
+def codepoints(text: str) -> np.ndarray:
+    """Code points of ``text`` as uint32, tolerating lone surrogates.
+
+    Lone surrogates (e.g. ``surrogateescape`` decoding artifacts) are
+    valid length-1 characters for edit-distance purposes but cannot be
+    UTF-32-encoded, hence the ``ord`` fallback off the fast path.
+    Shared by the scalar DPs here and the batched kernel in
+    :mod:`repro.index.kernel` so the two paths cannot drift.
+    """
+    try:
+        return np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32)
+    except UnicodeEncodeError:
+        return np.fromiter(map(ord, text), dtype=np.uint32, count=len(text))
+
+
 def edit_distance(a: str, b: str) -> int:
     """Return the Levenshtein distance between ``a`` and ``b``.
 
@@ -30,7 +45,7 @@ def edit_distance(a: str, b: str) -> int:
     # Ensure b is the shorter string so the DP rows are small.
     if len(b) > len(a):
         a, b = b, a
-    b_codes = np.frombuffer(b.encode("utf-32-le"), dtype=np.uint32)
+    b_codes = codepoints(b)
     previous = np.arange(len(b) + 1, dtype=np.int64)
     current = np.empty_like(previous)
     for i, ch in enumerate(a, start=1):

@@ -1,0 +1,262 @@
+"""Equivalence harness: the blocked joiner must match brute force exactly.
+
+``IndexedJoiner`` (and ``AutoJoiner`` on both sides of its threshold)
+must produce **identical** results to ``EditDistanceJoiner`` — same
+matches, same distances, same earliest-row tie-breaks, same abstentions
+under ``max_distance`` / ``normalized_threshold`` — on every registered
+benchmark dataset and on randomized columns with duplicates and empty
+strings.  Blocking is a performance choice only; any divergence here is
+a correctness bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from repro.utils.fuzz import random_edits, random_unicode_string
+
+from repro.core.joiner import EditDistanceJoiner
+from repro.datagen.benchmarks.registry import dataset_names, get_dataset
+from repro.exceptions import JoinError
+from repro.index import AutoJoiner, IndexedJoiner, make_joiner
+from repro.index.qgram import QGramIndex
+from repro.types import Prediction
+
+_SEED = 987
+
+_JOINER_VARIANTS = (
+    {},
+    {"max_distance": 2},
+    {"normalized_threshold": 0.34},
+)
+
+
+def _predictions_for(targets, rng):
+    """Simulated pipeline output: exact, near, far, and abstained rows."""
+    predictions = []
+    for i, target in enumerate(targets):
+        roll = rng.random()
+        if roll < 0.35:
+            value = target
+        elif roll < 0.75:
+            value = random_edits(rng, target, rng.randint(1, 3))
+        elif roll < 0.9:
+            value = random_unicode_string(rng, max_length=12)
+        else:
+            value = ""  # abstention (footnote 2)
+        predictions.append(Prediction(source=f"s{i}", value=value))
+    return predictions
+
+
+class TestRegistryDatasetEquivalence:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_join_results_identical_on_dataset(self, name):
+        rng = random.Random(_SEED)
+        tables = get_dataset(name, seed=0, scale=0.05)
+        for kwargs in _JOINER_VARIANTS:
+            brute = EditDistanceJoiner(**kwargs)
+            indexed = IndexedJoiner(**kwargs)
+            for table in tables:
+                targets = list(table.targets)
+                predictions = _predictions_for(targets, rng)
+                expected_rows = list(table.targets)
+                assert indexed.join(
+                    predictions, targets, expected_rows
+                ) == brute.join(predictions, targets, expected_rows), (
+                    name,
+                    table.name,
+                    kwargs,
+                )
+
+
+class TestRandomizedEquivalence:
+    def test_match_equivalence_fuzz(self):
+        rng = random.Random(_SEED + 1)
+        for _ in range(120):
+            targets = [
+                random_unicode_string(rng, max_length=12)
+                for _ in range(rng.randint(1, 35))
+            ]
+            targets += [rng.choice(targets) for _ in range(rng.randint(0, 5))]
+            targets += [""] * rng.randint(0, 2)
+            rng.shuffle(targets)
+            kwargs = rng.choice(_JOINER_VARIANTS)
+            brute = EditDistanceJoiner(**kwargs)
+            indexed = IndexedJoiner(**kwargs, q=rng.choice((2, 3)))
+            for _ in range(4):
+                predicted = rng.choice(
+                    (
+                        random_unicode_string(rng),
+                        random_edits(rng, rng.choice(targets), rng.randint(0, 3)),
+                        rng.choice(targets),
+                        "",
+                    )
+                )
+                assert indexed.match(predicted, targets) == brute.match(
+                    predicted, targets
+                ), (predicted, targets, kwargs)
+
+    def test_match_many_equivalence_fuzz(self):
+        rng = random.Random(_SEED + 2)
+        for _ in range(100):
+            targets = [
+                random_unicode_string(rng, max_length=10)
+                for _ in range(rng.randint(1, 25))
+            ]
+            targets += [rng.choice(targets) for _ in range(rng.randint(0, 6))]
+            rng.shuffle(targets)
+            brute = EditDistanceJoiner()
+            indexed = IndexedJoiner()
+            for _ in range(3):
+                predicted = rng.choice(
+                    (random_edits(rng, rng.choice(targets), rng.randint(0, 2)), "")
+                )
+                lower = rng.randint(0, 2)
+                upper = lower + rng.randint(0, 4)
+                assert indexed.match_many(
+                    predicted, targets, lower, upper
+                ) == brute.match_many(predicted, targets, lower, upper), (
+                    predicted,
+                    targets,
+                    lower,
+                    upper,
+                )
+
+
+class TestIndexedJoinerContract:
+    def test_empty_target_column_rejected(self):
+        with pytest.raises(JoinError):
+            IndexedJoiner().match("abc", [])
+        with pytest.raises(JoinError):
+            IndexedJoiner().match_many("abc", [])
+
+    def test_empty_prediction(self):
+        assert IndexedJoiner().match("", ["a"]) == (None, 0)
+        assert IndexedJoiner().match_many("", ["a"], 0, 3) == []
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            IndexedJoiner().match_many("a", ["b"], lower=2, upper=1)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            IndexedJoiner(q=0)
+
+    def test_tie_prefers_earliest_target_row(self):
+        # "bx" and "cx" are both distance 1 from "x"; row order decides.
+        assert IndexedJoiner().match("x", ["zzz", "bx", "cx"]) == ("bx", 1)
+
+    def test_index_cached_per_target_identity(self):
+        joiner = IndexedJoiner()
+        targets = ["alpha", "beta", "gamma"]
+        first = joiner._index_for(targets)
+        assert joiner._index_for(targets) is first
+        assert isinstance(first, QGramIndex)
+        # A different list object (even if equal) rebuilds.
+        assert joiner._index_for(list(targets)) is not first
+
+    def test_lone_surrogates_equivalent_to_brute(self):
+        # Regression: utf-32 encoding raises on lone surrogates; the
+        # blocked engine must match the brute scan, not crash.
+        targets = ["alpha", "alp\ud800ha", "beta", "alpha0"]
+        brute = EditDistanceJoiner()
+        indexed = IndexedJoiner()
+        for probe in ("alph\ud800a", "alpha", "\udc80"):
+            assert indexed.match(probe, targets) == brute.match(probe, targets)
+            assert indexed.match_many(probe, targets, 0, 4) == brute.match_many(
+                probe, targets, 0, 4
+            )
+
+    def test_in_place_append_invalidates_cache(self):
+        joiner = IndexedJoiner()
+        targets = ["aaa", "bbb"]
+        assert joiner.match("aaa", targets) == ("aaa", 0)
+        targets.append("zzz")
+        # The length guard detects the mutation and rebuilds the index.
+        assert joiner.match("zzz", targets) == ("zzz", 0)
+
+
+class TestAutoJoiner:
+    def test_delegates_agree_on_both_sides_of_threshold(self):
+        rng = random.Random(_SEED + 3)
+        small = [random_unicode_string(rng, max_length=8) for _ in range(10)]
+        large = [random_unicode_string(rng, max_length=8) for _ in range(80)]
+        auto = AutoJoiner(threshold=50)
+        brute = EditDistanceJoiner()
+        for targets in (small, large):
+            for _ in range(10):
+                predicted = random_edits(rng, rng.choice(targets), rng.randint(0, 2))
+                assert auto.match(predicted, targets) == brute.match(
+                    predicted, targets
+                )
+                assert auto.match_many(predicted, targets, 0, 3) == brute.match_many(
+                    predicted, targets, 0, 3
+                )
+
+    def test_picks_indexed_at_threshold(self):
+        auto = AutoJoiner(threshold=3)
+        assert auto._delegate(["a", "b"]) is auto._brute
+        assert auto._delegate(["a", "b", "c"]) is auto._indexed
+
+    def test_join_inherited_path(self):
+        auto = AutoJoiner(threshold=2)
+        predictions = [Prediction(source="s", value="aaa")]
+        results = auto.join(predictions, ["aaa", "bbb"], expected=["aaa"])
+        assert results[0].matched == "aaa"
+        assert results[0].correct
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AutoJoiner(threshold=-1)
+
+    def test_empty_targets_raise_via_delegate(self):
+        with pytest.raises(JoinError):
+            AutoJoiner().match("abc", [])
+
+
+class TestMakeJoiner:
+    def test_strategy_mapping(self):
+        assert type(make_joiner("brute")) is EditDistanceJoiner
+        assert type(make_joiner("indexed")) is IndexedJoiner
+        assert type(make_joiner("auto")) is AutoJoiner
+
+    def test_parameters_forwarded(self):
+        joiner = make_joiner("indexed", max_distance=3, q=3)
+        assert joiner.max_distance == 3
+        assert joiner.q == 3
+        auto = make_joiner("auto", auto_threshold=7, normalized_threshold=0.5)
+        assert auto.threshold == 7
+        assert auto._indexed.normalized_threshold == 0.5
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_joiner("fuzzy")
+        with pytest.raises(ValueError):
+            make_joiner("")
+
+    def test_pipeline_rejects_empty_strategy_string(self):
+        from repro.core.pipeline import DTTPipeline
+        from repro.surrogate import PretrainedDTT
+
+        with pytest.raises(ValueError):
+            DTTPipeline(PretrainedDTT(seed=0), joiner="")
+
+
+class TestOutlierColumns:
+    def test_long_outlier_cell_stays_equivalent(self, monkeypatch):
+        # A single pathological cell must not force the whole column to
+        # its width: past the budget the index skips the dense matrix
+        # and encodes candidate batches on demand, with identical
+        # results.  Shrink the budget so the fallback path runs.
+        monkeypatch.setattr(QGramIndex, "_DENSE_BUDGET", 64)
+        targets = ["q" * 500] + [f"val{i}" for i in range(40)]
+        index = QGramIndex(targets, q=2)
+        assert index._codes is None
+        indexed = IndexedJoiner()
+        brute = EditDistanceJoiner()
+        for probe in ("val7", "q" * 499, "valxx", ""):
+            assert indexed.match(probe, targets) == brute.match(probe, targets)
+            assert indexed.match_many(probe, targets, 0, 3) == brute.match_many(
+                probe, targets, 0, 3
+            )

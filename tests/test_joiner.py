@@ -53,6 +53,19 @@ class TestMatch:
         value, _ = joiner.match("ab", ["ac", "ad"])
         assert value == "ac"
 
+    def test_tie_break_deterministic_after_sentinel_simplification(self):
+        # Regression for the removed "cannot happen" re-scan branch: the
+        # sentinel always loses to the first candidate, so a column of
+        # equidistant targets must deterministically yield row 0, and a
+        # single far-away target must still be returned with its true
+        # distance.
+        joiner = EditDistanceJoiner()
+        assert joiner.match("x", ["ax", "bx", "cx", "dx"]) == ("ax", 1)
+        assert joiner.match("x", ["dx", "cx", "bx", "ax"]) == ("dx", 1)
+        assert joiner.match("abc", ["zzzzzz"]) == ("zzzzzz", 6)
+        # Duplicates of the winner do not perturb the choice.
+        assert joiner.match("x", ["ax", "ax", "bx"]) == ("ax", 1)
+
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             EditDistanceJoiner(max_distance=-1)

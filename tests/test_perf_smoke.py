@@ -1,0 +1,47 @@
+"""Perf-smoke guard for the blocked join engine.
+
+A deliberately generous wall-clock budget (the indexed join on 5k
+targets typically finishes in well under a second) so genuine
+regressions — e.g. the index silently degenerating to a full scan per
+query, or the batched kernel falling back to scalar work — surface in
+tier-1 runs without flakiness on slow machines.  Deselect with
+``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+from repro.utils.fuzz import random_edits, random_unicode_string
+
+from repro.index import IndexedJoiner
+
+_TARGET_ROWS = 5000
+_QUERIES = 40
+_BUDGET_SECONDS = 15.0
+
+
+@pytest.mark.slow
+def test_indexed_join_on_5k_targets_stays_within_budget():
+    rng = random.Random(1234)
+    targets = [
+        random_unicode_string(rng, max_length=18, min_length=6)
+        for _ in range(_TARGET_ROWS)
+    ]
+    queries = [
+        random_edits(rng, rng.choice(targets), rng.randint(0, 3))
+        for _ in range(_QUERIES)
+    ]
+    joiner = IndexedJoiner()
+    started = time.perf_counter()
+    for query in queries:
+        matched, distance = joiner.match(query, targets)
+        assert matched is not None
+        assert distance <= 3 + 18  # sanity, not the point of the guard
+    elapsed = time.perf_counter() - started
+    assert elapsed < _BUDGET_SECONDS, (
+        f"indexed join took {elapsed:.2f}s for {_QUERIES} queries over "
+        f"{_TARGET_ROWS} targets (budget {_BUDGET_SECONDS}s)"
+    )
