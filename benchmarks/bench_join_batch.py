@@ -1,0 +1,155 @@
+"""Batch join amortization: ``join_many`` vs a per-probe ``match`` loop.
+
+Joins a whole source column (up to 20k probes) into a 20k-row target
+column with both execution styles of the *same* blocked engine:
+
+* **per-probe** — ``[joiner.match(p, targets) for p in probes]``, which
+  pays the column fingerprint, the index-cache lookup, candidate
+  generation, and a kernel launch for every probe; and
+* **batch** — one ``joiner.join_many(probes, targets)`` call, which
+  pays the fingerprint once, dedupes identical probes, resolves exact
+  matches with a dictionary lookup each, and runs length-bucketed
+  candidate generation plus the pair DP kernel with upper-bound
+  settlement.
+
+Both styles are byte-identical (the bench cross-checks outputs before
+trusting the clocks).  Results go to ``BENCH_join_batch.json`` at the
+repository root so future PRs can track the amortization trajectory.
+
+Run directly (``python benchmarks/bench_join_batch.py``) for the full
+sweep, or with ``--smoke`` for a seconds-scale sanity run that does not
+overwrite the committed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import persist
+
+from repro.index import IndexCache, IndexedJoiner
+from repro.utils.fuzz import random_edits, random_unicode_string
+
+_SEED = 23
+_SIZES = (2000, 20000)
+_SMOKE_SIZES = (500,)
+# Table-cell-like alphabet and the query mix of bench_join_scaling:
+# mostly exact or lightly corrupted predictions, some garbage.
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_join_batch.json"
+
+
+def _random_string(rng: random.Random) -> str:
+    return random_unicode_string(
+        rng, max_length=18, min_length=6, alphabet=_ALPHABET
+    )
+
+
+def _workload(rng: random.Random, n_rows: int) -> tuple[list[str], list[str]]:
+    targets = [_random_string(rng) for _ in range(n_rows)]
+    probes = []
+    for _ in range(n_rows):
+        roll = rng.random()
+        base = rng.choice(targets)
+        if roll < 0.4:
+            probes.append(base)
+        elif roll < 0.8:
+            probes.append(
+                random_edits(rng, base, rng.randint(1, 3), alphabet=_ALPHABET)
+            )
+        else:
+            probes.append(_random_string(rng))
+    return targets, probes
+
+
+def run_join_batch(seed: int = _SEED, sizes: tuple[int, ...] = _SIZES) -> dict:
+    """Run the sweep and return the JSON-serializable report."""
+    rows = []
+    for n_rows in sizes:
+        rng = random.Random(seed + n_rows)
+        targets, probes = _workload(rng, n_rows)
+
+        batch_joiner = IndexedJoiner(cache=IndexCache())
+        started = time.perf_counter()
+        batch_results = batch_joiner.join_many(probes, targets)
+        batch_seconds = time.perf_counter() - started
+
+        scalar_joiner = IndexedJoiner(cache=IndexCache())
+        started = time.perf_counter()
+        scalar_results = [scalar_joiner.match(p, targets) for p in probes]
+        scalar_seconds = time.perf_counter() - started
+
+        assert batch_results == scalar_results, (
+            f"batch/scalar equivalence violated at {n_rows} rows"
+        )
+        rows.append(
+            {
+                "rows": n_rows,
+                "probes": len(probes),
+                "per_probe_seconds": round(scalar_seconds, 4),
+                "batch_seconds": round(batch_seconds, 4),
+                "speedup": round(scalar_seconds / batch_seconds, 2),
+            }
+        )
+    return {
+        "bench": "join_batch",
+        "seed": seed,
+        "query_mix": {"exact": 0.4, "corrupted_1_3_edits": 0.4, "random": 0.2},
+        "timings_include_index_build": True,
+        "rows": rows,
+    }
+
+
+def test_join_batch(results_dir):
+    report = run_join_batch()
+    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = ["Batch join amortization (one column join, seconds)"]
+    lines.append(
+        "rows".ljust(8)
+        + "per-probe".rjust(12)
+        + "batch".rjust(10)
+        + "speedup".rjust(10)
+    )
+    for row in report["rows"]:
+        lines.append(
+            f"{row['rows']:<8d}{row['per_probe_seconds']:>12.3f}"
+            f"{row['batch_seconds']:>10.3f}{row['speedup']:>9.1f}x"
+        )
+    lines.append(f"\n[json written to {_JSON_PATH}]")
+    persist(results_dir, "join_batch", "\n".join(lines))
+
+    by_rows = {row["rows"]: row for row in report["rows"]}
+    # The acceptance bar: >= 3x amortization at 20k x 20k.
+    assert by_rows[20000]["speedup"] >= 3.0, by_rows[20000]
+    # Batching should win at every measured size.
+    assert all(row["speedup"] > 1.0 for row in report["rows"]), report["rows"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sanity sweep; prints results without writing the artifact",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        report = run_join_batch(sizes=_SMOKE_SIZES)
+        print(json.dumps(report, indent=2))
+        # CI-enforced floor: batching must beat the per-probe loop even
+        # at smoke scale (the full >= 3x bar at 20k is asserted by
+        # ``pytest benchmarks/bench_join_batch.py``, which refreshes the
+        # committed artifact).  1.1x leaves headroom for noisy runners.
+        for row in report["rows"]:
+            assert row["speedup"] >= 1.1, (
+                f"batch amortization regressed at {row['rows']} rows: {row}"
+            )
+    else:
+        report = run_join_batch()
+        _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))

@@ -14,6 +14,7 @@ clocks.
 
 from __future__ import annotations
 
+import argparse
 import json
 import random
 import time
@@ -62,10 +63,12 @@ def _time_joiner(joiner, queries, targets) -> tuple[float, list]:
     return time.perf_counter() - started, results
 
 
-def run_join_scaling(seed: int = _SEED) -> dict:
+def run_join_scaling(
+    seed: int = _SEED, sizes: tuple[int, ...] = _SIZES
+) -> dict:
     """Run the sweep and return the JSON-serializable report."""
     rows = []
-    for n_targets in _SIZES:
+    for n_targets in sizes:
         rng = random.Random(seed + n_targets)
         targets, queries = _workload(rng, n_targets)
         brute_seconds, brute_results = _time_joiner(
@@ -124,6 +127,18 @@ def test_join_scaling(results_dir):
 
 
 if __name__ == "__main__":
-    report = run_join_scaling()
-    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sanity sweep (CI slow lane); verifies brute/indexed "
+        "equivalence and prints results without writing the artifact",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        report = run_join_scaling(sizes=(1000,))
+        print(json.dumps(report, indent=2))
+    else:
+        report = run_join_scaling()
+        _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))

@@ -15,7 +15,7 @@ columns, :mod:`repro.index` provides a q-gram blocked engine
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.exceptions import JoinError
 from repro.text.edit_distance import edit_distance_capped
@@ -96,6 +96,19 @@ class EditDistanceJoiner:
                 return None, best_distance
         return best_value, best_distance
 
+    def join_many(
+        self, probes: Sequence[str], targets: Sequence[str]
+    ) -> list[tuple[str | None, int]]:
+        """Batched :meth:`match`: one ``(matched, distance)`` per probe.
+
+        This reference implementation is the literal per-probe loop and
+        **defines the batch contract**: any override (the blocked
+        engine's amortized version) must return byte-identical results
+        — matches, distances, earliest-row tie-breaks, and threshold
+        abstentions — for every probe column.
+        """
+        return [self.match(probe, targets) for probe in probes]
+
     def match_many(
         self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
     ) -> list[tuple[str, int]]:
@@ -142,16 +155,18 @@ class EditDistanceJoiner:
                 f"expected ({len(expected)}) must align with predictions "
                 f"({len(predictions)})"
             )
-        results: list[JoinResult] = []
-        for i, prediction in enumerate(predictions):
-            matched, distance = self.match(prediction.value, targets)
-            results.append(
-                JoinResult(
-                    source=prediction.source,
-                    predicted=prediction.value,
-                    matched=matched,
-                    expected=expected[i] if expected is not None else "",
-                    distance=distance,
-                )
+        # One join_many call so batch-capable strategies amortize index
+        # lookup, probe dedup, and kernel launches over the column.
+        matches = self.join_many([p.value for p in predictions], targets)
+        return [
+            JoinResult(
+                source=prediction.source,
+                predicted=prediction.value,
+                matched=matched,
+                expected=expected[i] if expected is not None else "",
+                distance=distance,
             )
-        return results
+            for i, (prediction, (matched, distance)) in enumerate(
+                zip(predictions, matches)
+            )
+        ]

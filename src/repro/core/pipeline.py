@@ -35,7 +35,12 @@ class DTTPipeline:
             :func:`repro.index.make_joiner`.  Defaults to ``"auto"``,
             which is the plain Eq. 5 argmin executed by scalar scan on
             small target columns and by the q-gram blocked engine on
-            large ones — results are identical either way.
+            large ones — results are identical either way.  :meth:`join`
+            hands the whole predicted column to the joiner's
+            ``join_many`` batch API in one call, and blocked strategies
+            share q-gram indexes through the process-level
+            :class:`~repro.index.cache.IndexCache`, so repeated
+            pipelines over the same target column never rebuild.
     """
 
     def __init__(

@@ -16,20 +16,40 @@ column:
   :class:`AutoJoiner` (switches strategy on target-column size), and the
   :func:`make_joiner` factory used by ``DTTPipeline(joiner="auto")``.
 
+Batch execution rides on top of the same guarantee:
+
+* :mod:`repro.index.cache` — :class:`IndexCache`, a process-level LRU of
+  indexes keyed on **column content** (so equal columns share one index
+  and any mutation — even a same-length in-place edit — forces a
+  rebuild), plus adaptive gram-size selection.
+* :meth:`IndexedJoiner.join_many` — the many-probe batch API: dedupe,
+  exact-match short-circuit, length-bucketed candidate generation, and
+  a pair DP kernel (:func:`~repro.index.kernel.edit_distance_pairs`)
+  that scores all (probe, candidate) pairs of a bucket in one sweep.
+
 The guarantee throughout is *exact equivalence* with the brute scan —
-enforced by the equivalence test harness in ``tests/`` — so blocking is
-purely a performance choice.
+enforced by the equivalence test harness in ``tests/`` — so blocking and
+batching are purely performance choices.
 """
 
-from repro.index.kernel import edit_distance_many, encode_strings
-from repro.index.qgram import QGramIndex
+from repro.index.cache import IndexCache, default_index_cache
 from repro.index.joiner import AutoJoiner, IndexedJoiner, make_joiner
+from repro.index.kernel import (
+    edit_distance_many,
+    edit_distance_pairs,
+    encode_strings,
+)
+from repro.index.qgram import QGramIndex, adaptive_q
 
 __all__ = [
     "AutoJoiner",
+    "IndexCache",
     "IndexedJoiner",
     "QGramIndex",
+    "adaptive_q",
+    "default_index_cache",
     "edit_distance_many",
+    "edit_distance_pairs",
     "encode_strings",
     "make_joiner",
 ]

@@ -11,6 +11,18 @@ doubles; because the candidate set at cap ``k`` contains *every* target
 within ``k``, the first round that finds a distance ``<= k`` has found
 the global minimum and all its ties.
 
+Two batch layers amortize that work across a whole source column:
+
+* :meth:`IndexedJoiner.join_many` deduplicates identical probes,
+  resolves exact matches with one dictionary lookup each, buckets the
+  remaining probes by length, and runs candidate generation and the
+  pair DP kernel per bucket — one kernel sweep per (bucket, cap) round
+  instead of one per probe.
+* A process-level :class:`~repro.index.cache.IndexCache` shares one
+  index per target-column *content* (entries are keyed on the column
+  values themselves, so stale or aliased indexes are impossible)
+  across joiners, pipelines, and eval runs.
+
 :class:`AutoJoiner` picks the brute scan for small target columns (where
 index construction dominates) and the blocked engine above a row-count
 threshold.
@@ -18,55 +30,65 @@ threshold.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.joiner import EditDistanceJoiner
-from repro.index.kernel import edit_distance_codes
+from repro.exceptions import JoinError
+from repro.index.cache import IndexCache, default_index_cache
+from repro.index.kernel import edit_distance_codes, edit_distance_pairs, encode_strings
 from repro.index.qgram import QGramIndex
 
 
 class IndexedJoiner(EditDistanceJoiner):
     """Q-gram-blocked edit-distance joiner (exactly equivalent to brute).
 
-    The q-gram index for a target column is built on first use and
-    cached while the same ``targets`` object is passed to subsequent
-    calls (so :meth:`join` builds it once).  A length change on the
-    cached object forces a rebuild; same-length in-place edits between
-    calls are undetectable and not supported.
+    Indexes are obtained from an :class:`IndexCache` keyed by the
+    target column's content, so equal columns share one index across
+    joiners and any mutation of a cached column — including same-length
+    in-place cell edits — is detected and forces a rebuild.
 
     Args:
         max_distance: As in :class:`EditDistanceJoiner`.
         normalized_threshold: As in :class:`EditDistanceJoiner`.
-        q: Gram size for the blocking index.
+        q: Gram size for the blocking index; ``None`` (the default)
+            picks it per column from the column's length statistics
+            (:func:`~repro.index.qgram.adaptive_q`).
+        cache: Index cache to use; ``None`` means the process-wide
+            shared cache (:func:`~repro.index.cache.default_index_cache`).
     """
+
+    # Cells (distance-row entries) per pair-DP chunk: sized so the
+    # sweep's working set stays cache-resident (int32 rows, a few
+    # buffers) — measurably faster than streaming one huge block.
+    _PAIR_CELL_BUDGET = 1 << 16
+    # Pairs per assembly group: bounds the concatenated vids/distances
+    # arrays of a (bucket, cap) round regardless of how many candidate
+    # pairs the filters admit.
+    _PAIR_GROUP_BUDGET = 1 << 22
+    # Length-difference radius of the final stage's first wave: the
+    # near-length slice of the column that almost always contains the
+    # argmin, scored first to tighten the bound for the wide wave.
+    _NEAR_LENGTHS = 2
 
     def __init__(
         self,
         max_distance: int | None = None,
         normalized_threshold: float | None = None,
-        q: int = 2,
+        q: int | None = None,
+        cache: IndexCache | None = None,
     ) -> None:
         super().__init__(
             max_distance=max_distance, normalized_threshold=normalized_threshold
         )
-        if q <= 0:
+        if q is not None and q <= 0:
             raise ValueError(f"q must be positive, got {q}")
         self.q = q
-        self._cache: tuple[Sequence[str], int, QGramIndex] | None = None
+        self.cache = cache if cache is not None else default_index_cache()
 
     def _index_for(self, targets: Sequence[str]) -> QGramIndex:
-        if self._cache is not None:
-            cached_targets, cached_size, cached_index = self._cache
-            # Cheap staleness guard: an in-place append/removal on the
-            # cached object is detectable by length and forces a rebuild
-            # (same-length in-place edits remain undetected/unsupported).
-            if cached_targets is targets and cached_size == len(targets):
-                return cached_index
-        index = QGramIndex(targets, q=self.q)
-        self._cache = (targets, len(targets), index)
-        return index
+        return self.cache.get(targets, q=self.q)
 
     def _argmin(self, predicted: str, targets: Sequence[str]) -> tuple[str, int]:
         """Earliest-row argmin via the blocked index (same contract as brute).
@@ -103,6 +125,296 @@ class IndexedJoiner(EditDistanceJoiner):
             "the completeness invariant is broken"
         )
 
+    def join_many(
+        self, probes: Sequence[str], targets: Sequence[str]
+    ) -> list[tuple[str | None, int]]:
+        """Batched :meth:`match` over a whole probe column.
+
+        Byte-identical to ``[self.match(p, targets) for p in probes]``
+        — same matches, distances, earliest-row tie-breaks, and
+        threshold abstentions — but the work is amortized: the column
+        hash and index lookup happen once, identical probes are
+        resolved once, exact matches cost one dictionary lookup, and
+        the remaining probes run through bucketed candidate generation
+        plus the pair DP kernel.
+        """
+        if not probes:
+            return []
+        if not targets:
+            raise JoinError("cannot join into an empty target column")
+        # Dedupe: every occurrence of a probe value gets the one result.
+        positions: dict[str, list[int]] = {}
+        for i, probe in enumerate(probes):
+            positions.setdefault(probe, []).append(i)
+        index = self._index_for(targets)
+        resolved: dict[str, tuple[str | None, int]] = {}
+        buckets: dict[int, list[str]] = {}
+        for probe in positions:
+            if probe == "":
+                # Abstention (footnote 2): no match, before thresholds.
+                resolved[probe] = (None, 0)
+            elif index.value_id(probe) is not None:
+                resolved[probe] = self._apply_thresholds(probe, 0)
+            else:
+                buckets.setdefault(len(probe), []).append(probe)
+        for length, bucket in buckets.items():
+            for probe, (value, distance) in self._argmin_bucket(
+                index, length, bucket
+            ).items():
+                resolved[probe] = self._apply_thresholds(value, distance)
+        results: list[tuple[str | None, int]] = [(None, 0)] * len(probes)
+        for probe, rows in positions.items():
+            result = resolved[probe]
+            for i in rows:
+                results[i] = result
+        return results
+
+    def _argmin_bucket(
+        self, index: QGramIndex, length: int, probes: list[str]
+    ) -> dict[str, tuple[str, int]]:
+        """Blocked argmin for a bucket of same-length probes.
+
+        Two cheap rounds at caps 1 and 2 resolve the near probes — the
+        common case for model predictions — on small count-filtered
+        candidate blocks.  Every probe still unresolved then gets an
+        **upper bound** (the exact distance to its max-gram-overlap
+        targets) and finishes in two waves, no cap ladder needed:
+
+        * **Wave 1** scores only the near-length candidates
+          (``|len - length| <= 2``) at the bound.  The argmin almost
+          always lives there, so the wave-1 minimum ``b1`` is a much
+          tighter upper bound (``b1 <= bound`` always, since the
+          candidate set at the bound provably contains the argmin or
+          wave 2 covers it).
+        * **Wave 2** scores the remaining candidates at cap ``b1`` —
+          any target beating or tying ``b1`` is within edit distance
+          ``b1``, hence within the ``b1`` length window and count
+          filter — with the kernel's per-pair settlement trimming
+          doomed pairs after about ``b1`` DP steps.
+
+        This is the batched analogue of the brute scan's best-so-far
+        pruning: far/garbage probes scan the wide part of the column
+        exactly once, against the tightest bound known.
+        """
+        resolved: dict[str, tuple[str, int]] = {}
+        max_cap = max(length, index.max_length)
+        pending = probes
+        for cap in (1, 2):
+            if not pending:
+                return resolved
+            if cap > max_cap:
+                break
+            pending = self._score_round(index, length, pending, cap, resolved)
+        if not pending:
+            return resolved
+        probe_codes, _ = encode_strings(pending)
+        bounds = self._upper_bounds(index, length, pending, probe_codes)
+        by_bound: dict[int, list[int]] = {}
+        for j, bound in enumerate(bounds):
+            by_bound.setdefault(int(bound), []).append(j)
+        near_scores: dict[int, tuple[int, np.ndarray]] = {}
+        by_refined: dict[int, list[int]] = {}
+        for bound, rows in sorted(by_bound.items()):
+            group = [pending[j] for j in rows]
+            cand_lists = index.candidates_bucket(group, length, bound)
+            near_lists = [
+                cands[np.abs(index.lengths[cands] - length) <= self._NEAR_LENGTHS]
+                for cands in cand_lists
+            ]
+            wave1 = self._wave_scores(
+                index, probe_codes[rows], near_lists, bound
+            )
+            for j, score in zip(rows, wave1, strict=True):
+                near_scores[j] = score
+                by_refined.setdefault(min(bound, score[0]), []).append(j)
+        for refined, rows in sorted(by_refined.items()):
+            group = [pending[j] for j in rows]
+            group_codes = probe_codes[rows]
+            cand_lists = index.candidates_bucket(group, length, refined)
+            far_lists = [
+                cands[np.abs(index.lengths[cands] - length) > self._NEAR_LENGTHS]
+                for cands in cand_lists
+            ]
+            wave2 = self._wave_scores(index, group_codes, far_lists, refined)
+            for j, probe, (far_best, far_tied) in zip(
+                rows, group, wave2, strict=True
+            ):
+                near_best, near_tied = near_scores[j]
+                best = min(near_best, far_best)
+                if best > refined:
+                    raise RuntimeError(
+                        "q-gram blocking missed a match within a proven "
+                        "upper bound; the completeness invariant is broken"
+                    )
+                waves = ((near_best, near_tied), (far_best, far_tied))
+                tied = np.concatenate(
+                    [tied for tied_best, tied in waves if tied_best == best]
+                )
+                winner = tied[np.argmin(index.first_rows[tied])]
+                resolved[probe] = (index.values[int(winner)], best)
+        return resolved
+
+    def _score_round(
+        self,
+        index: QGramIndex,
+        length: int,
+        pending: list[str],
+        cap: int,
+        resolved: dict[str, tuple[str, int]],
+    ) -> list[str]:
+        """Score one candidate-generation round for a probe sub-bucket.
+
+        Generates candidates at ``cap`` for every probe (length filter
+        evaluated once), scores all (probe, candidate) pairs with the
+        lockstep pair DP in bounded groups, and resolves any probe
+        whose round minimum is within the cap — by candidate
+        completeness that minimum is the probe's global argmin, ties
+        included.  Returns the probes left unresolved.
+        """
+        probe_codes, _ = encode_strings(pending)
+        cand_lists = index.candidates_bucket(pending, length, cap)
+        scores = self._wave_scores(index, probe_codes, cand_lists, cap)
+        still: list[str] = []
+        for probe, (best, tied) in zip(pending, scores, strict=True):
+            if best > cap:
+                still.append(probe)
+                continue
+            winner = tied[np.argmin(index.first_rows[tied])]
+            resolved[probe] = (index.values[int(winner)], best)
+        return still
+
+    def _wave_scores(
+        self,
+        index: QGramIndex,
+        probe_codes: np.ndarray,
+        cand_lists: list[np.ndarray],
+        cap: int,
+    ) -> list[tuple[int, np.ndarray]]:
+        """``(best, tied_value_ids)`` per probe over given candidates.
+
+        Scores all (probe, candidate) pairs with the lockstep pair DP
+        in bounded groups.  ``best`` is ``cap + 1`` (with an empty tie
+        array) when no candidate scores within the cap; otherwise the
+        ties are every candidate at exactly ``best``.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        results: list[tuple[int, np.ndarray]] = [(cap + 1, empty)] * len(
+            cand_lists
+        )
+        for start, stop in self._probe_groups(cand_lists):
+            group_lists = cand_lists[start:stop]
+            sizes = np.fromiter(
+                (c.size for c in group_lists), dtype=np.int64, count=stop - start
+            )
+            vids = (
+                np.concatenate(group_lists)
+                if sizes.any()
+                else np.empty(0, dtype=np.int64)
+            )
+            probe_rep = np.repeat(np.arange(start, stop), sizes)
+            distances = self._pair_distances(
+                probe_codes, probe_rep, vids, index, cap
+            )
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            for j in range(start, stop):
+                lo, hi = int(offsets[j - start]), int(offsets[j - start + 1])
+                if lo == hi:
+                    continue
+                segment = distances[lo:hi]
+                best = int(segment.min())
+                if best <= cap:
+                    results[j] = (best, vids[lo:hi][segment == best])
+        return results
+
+    def _upper_bounds(
+        self,
+        index: QGramIndex,
+        length: int,
+        pending: list[str],
+        probe_codes: np.ndarray,
+    ) -> np.ndarray:
+        """Exact distance from each pending probe to a plausible neighbour.
+
+        One small pair-DP batch (a few candidates per probe) against the
+        max-gram-overlap targets from :meth:`QGramIndex.overlap_best`;
+        the per-probe minimum upper-bounds the probe's best distance.
+        """
+        neighbour_lists = index.overlap_best(pending, length)
+        sizes = np.fromiter(
+            (a.size for a in neighbour_lists),
+            dtype=np.int64,
+            count=len(neighbour_lists),
+        )
+        vids = np.concatenate(neighbour_lists)
+        probe_rep = np.repeat(np.arange(len(pending)), sizes)
+        cand_codes, cand_lengths = index.batch_codes(vids)
+        # Any target is within max(length, longest target), so the
+        # distances come back exact.
+        vacuous = max(length, index.max_length)
+        distances = edit_distance_pairs(
+            probe_codes[probe_rep], cand_codes, cand_lengths, vacuous
+        )
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        return np.minimum.reduceat(distances, starts)
+
+    def _probe_groups(
+        self, cand_lists: list[np.ndarray]
+    ) -> list[tuple[int, int]]:
+        """Split a bucket round into probe slices of bounded pair count.
+
+        Keeps one round's concatenated pair block within the cell
+        budget even when a late (near-vacuous) cap admits most of the
+        column for every probe.
+        """
+        groups: list[tuple[int, int]] = []
+        start = 0
+        accumulated = 0
+        for j, candidates in enumerate(cand_lists):
+            if accumulated and accumulated + candidates.size > self._PAIR_GROUP_BUDGET:
+                groups.append((start, j))
+                start = j
+                accumulated = 0
+            accumulated += candidates.size
+        groups.append((start, len(cand_lists)))
+        return groups
+
+    def _pair_distances(
+        self,
+        probe_codes: np.ndarray,
+        probe_rep: np.ndarray,
+        vids: np.ndarray,
+        index: QGramIndex,
+        cap: int,
+    ) -> np.ndarray:
+        """Chunked pair-DP over ``(probe_rep[i], vids[i])`` pairs.
+
+        Candidate codes are gathered per chunk so peak memory stays
+        within the cell budget no matter how wide the index matrix is.
+        Chunk boundaries come from the *actual* candidate lengths (the
+        kernel pads each chunk only to its own longest candidate), so
+        one pathological mega-cell in the column shrinks just the chunk
+        that contains it instead of collapsing every chunk to a handful
+        of pairs.
+        """
+        n = vids.size
+        out = np.empty(n, dtype=np.int64)
+        cells = np.cumsum(index.lengths[vids] + 1)
+        lo = 0
+        while lo < n:
+            consumed = int(cells[lo - 1]) if lo else 0
+            hi = int(
+                np.searchsorted(
+                    cells, consumed + self._PAIR_CELL_BUDGET, side="right"
+                )
+            )
+            hi = max(lo + 1, min(hi, n))
+            cand_codes, cand_lengths = index.batch_codes(vids[lo:hi])
+            out[lo:hi] = edit_distance_pairs(
+                probe_codes[probe_rep[lo:hi]], cand_codes, cand_lengths, cap
+            )
+            lo = hi
+        return out
+
     def match_many(
         self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
     ) -> list[tuple[str, int]]:
@@ -122,7 +434,7 @@ class IndexedJoiner(EditDistanceJoiner):
         # contribute one entry per row.
         entries = [
             (int(distance), row, int(vid))
-            for vid, distance in zip(vids[keep], distances[keep])
+            for vid, distance in zip(vids[keep], distances[keep], strict=True)
             for row in index.rows_for(int(vid))
         ]
         entries.sort(key=lambda item: (item[0], item[1]))
@@ -143,7 +455,9 @@ class AutoJoiner(EditDistanceJoiner):
             q-gram engine takes over.
         max_distance: As in :class:`EditDistanceJoiner`.
         normalized_threshold: As in :class:`EditDistanceJoiner`.
-        q: Gram size for the blocked delegate.
+        q: Gram size for the blocked delegate (``None`` = adaptive).
+        cache: Index cache for the blocked delegate (``None`` = the
+            process-wide shared cache).
     """
 
     DEFAULT_THRESHOLD = 256
@@ -153,7 +467,8 @@ class AutoJoiner(EditDistanceJoiner):
         threshold: int = DEFAULT_THRESHOLD,
         max_distance: int | None = None,
         normalized_threshold: float | None = None,
-        q: int = 2,
+        q: int | None = None,
+        cache: IndexCache | None = None,
     ) -> None:
         super().__init__(
             max_distance=max_distance, normalized_threshold=normalized_threshold
@@ -168,6 +483,7 @@ class AutoJoiner(EditDistanceJoiner):
             max_distance=max_distance,
             normalized_threshold=normalized_threshold,
             q=q,
+            cache=cache,
         )
 
     def _delegate(self, targets: Sequence[str]) -> EditDistanceJoiner:
@@ -184,6 +500,11 @@ class AutoJoiner(EditDistanceJoiner):
     def match(self, predicted: str, targets: Sequence[str]) -> tuple[str | None, int]:
         return self._delegate(targets).match(predicted, targets)
 
+    def join_many(
+        self, probes: Sequence[str], targets: Sequence[str]
+    ) -> list[tuple[str | None, int]]:
+        return self._delegate(targets).join_many(probes, targets)
+
     def match_many(
         self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
     ) -> list[tuple[str, int]]:
@@ -195,8 +516,9 @@ def make_joiner(
     *,
     max_distance: int | None = None,
     normalized_threshold: float | None = None,
-    q: int = 2,
+    q: int | None = None,
     auto_threshold: int = AutoJoiner.DEFAULT_THRESHOLD,
+    cache: IndexCache | None = None,
 ) -> EditDistanceJoiner:
     """Build a join strategy by name.
 
@@ -205,8 +527,11 @@ def make_joiner(
             blocked), or ``"auto"`` (switch on target-column size).
         max_distance: Passed to the joiner.
         normalized_threshold: Passed to the joiner.
-        q: Gram size for the blocked strategies.
+        q: Gram size for the blocked strategies (``None`` = adaptive
+            per column).
         auto_threshold: Row-count switch point for ``"auto"``.
+        cache: Index cache for the blocked strategies (``None`` = the
+            process-wide shared cache).
     """
     if strategy == "brute":
         return EditDistanceJoiner(
@@ -217,6 +542,7 @@ def make_joiner(
             max_distance=max_distance,
             normalized_threshold=normalized_threshold,
             q=q,
+            cache=cache,
         )
     if strategy == "auto":
         return AutoJoiner(
@@ -224,6 +550,7 @@ def make_joiner(
             max_distance=max_distance,
             normalized_threshold=normalized_threshold,
             q=q,
+            cache=cache,
         )
     raise ValueError(
         f"unknown join strategy {strategy!r}; expected 'brute', 'indexed', or 'auto'"

@@ -20,7 +20,7 @@ reported as ``cap + 1``, matching the contract of
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -102,6 +102,120 @@ def edit_distance_codes(
             return np.full(n, big, dtype=np.int64)
         previous, current = current, previous
     return previous[np.arange(n), lengths]
+
+
+def edit_distance_pairs(
+    query_codes: np.ndarray,
+    cand_codes: np.ndarray,
+    cand_lengths: np.ndarray,
+    cap: int,
+) -> np.ndarray:
+    """Capped distances for ``n`` independent (query, candidate) pairs.
+
+    The multi-probe generalization of :func:`edit_distance_codes`: row
+    ``i`` scores ``query_i`` against ``candidate_i``, and the DP is
+    vectorized across *all pairs of all probes at once* — one numpy
+    sweep per query character instead of one kernel launch per probe.
+    Every query must have the same true length (the batch engine buckets
+    probes by length for exactly this reason), so the sweep advances all
+    pairs in lockstep.
+
+    Args:
+        query_codes: ``(n, query_len)`` code matrix; each row is a full
+            (unpadded) query of exactly ``query_len`` characters.
+        cand_codes: ``(n, max_cand_len)`` padded candidate code matrix
+            (rows may be a fancy-indexed subset of an index matrix).
+        cand_lengths: True length of each candidate row.
+        cap: Distances above this are clamped to ``cap + 1``.
+
+    Returns:
+        ``int64`` array of shape ``(n,)``; entry ``i`` is
+        ``edit_distance(query_i, candidate_i)`` when that is ``<= cap``
+        and ``cap + 1`` otherwise.
+    """
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    n = cand_codes.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    big = cap + 1
+    query_len = query_codes.shape[1]
+    if query_len == 0:
+        return np.minimum(cand_lengths, big)
+    longest = int(cand_lengths.max())
+    if cand_codes.shape[1] > longest:
+        cand_codes = cand_codes[:, :longest]
+    out = np.full(n, big, dtype=np.int64)
+    # Maps compacted column positions back to caller pair indices.
+    active = np.arange(n)
+    # The sweep runs the *exact* (unclamped) DP in int32 — distances
+    # are bounded by the longest string, so the narrow dtype halves
+    # memory traffic — in **reduced space** ``E[i][j] = D[i][j] - j``,
+    # where the row-serial insertion recurrence collapses to a plain
+    # prefix-min (``D[i][j] = min(D'[i][j], D[i][j-1] + 1)`` becomes
+    # ``E[i][j] = min(E'[i][j], E[i][j-1])``) and the initial row is
+    # all zeros.  State is stored **transposed** — ``(width, n)`` with
+    # pairs along the contiguous axis — so the prefix-min accumulate
+    # runs its data-dependent loop across rows while its inner loop
+    # stays a fully vectorized sweep over all pairs (the row-serial
+    # layout made ``np.minimum.accumulate`` dominate kernel profiles).
+    # Distances clamp to ``big`` only on output.
+    cand_codes = np.ascontiguousarray(cand_codes.T)
+    width = cand_codes.shape[0] + 1
+    col = np.arange(width, dtype=np.int32)[:, None]
+    previous = np.zeros((width, n), dtype=np.int32)
+    current = np.empty_like(previous)
+    unequal = np.empty(cand_codes.shape, dtype=np.int32)
+    scratch = np.empty(cand_codes.shape, dtype=np.int32)
+    for i in range(1, query_len + 1):
+        current[0, :] = i
+        # Each pair substitutes against its own query character:
+        # E-substitution = E_prev[j-1] + (mismatch) - 1.
+        query_row = query_codes[:, i - 1]
+        np.not_equal(cand_codes, query_row, out=unequal, casting="unsafe")
+        np.add(previous[:-1, :], unequal, out=unequal)
+        unequal -= 1
+        # E-deletion = E_prev[j] + 1.
+        np.add(previous[1:, :], 1, out=scratch)
+        np.minimum(unequal, scratch, out=current[1:, :])
+        # Insertion closure: prefix-min along the (row) width axis.
+        np.minimum.accumulate(current, axis=0, out=current)
+        previous, current = current, previous
+        if i & 1 and i != query_len:
+            continue
+        # A pair whose row minimum (in D space: E + j) exceeds the cap
+        # is settled — row minima never decrease as the DP advances —
+        # so its distance is reported as ``big`` and the pair drops out
+        # of the sweep.  This is the per-pair analogue of the scalar
+        # kernel's global early exit, and it is what makes mixing
+        # doomed and promising pairs in one batch affordable: a pair
+        # many edits beyond the cap stops paying after about ``cap``
+        # steps instead of the full query length.
+        row_min = np.add(previous, col, out=current).min(axis=0)
+        settled = int(np.count_nonzero(row_min > cap))
+        if settled == active.size:
+            return out
+        if settled >= 256 and settled * 4 >= active.size:
+            keep = row_min <= cap
+            active = active[keep]
+            previous = previous[:, keep]
+            cand_codes = cand_codes[:, keep]
+            query_codes = query_codes[keep]
+            cand_lengths = cand_lengths[keep]
+            # Surviving candidates may all be shorter than the batch
+            # pad width; shrink the sweep to match (row-prefix slices
+            # of the transposed state stay contiguous).
+            longest = int(cand_lengths.max()) if cand_lengths.size else 0
+            if cand_codes.shape[0] > longest:
+                cand_codes = cand_codes[:longest, :]
+                previous = previous[: longest + 1, :]
+                col = col[: longest + 1]
+            current = np.empty_like(previous)
+            unequal = np.empty(cand_codes.shape, dtype=np.int32)
+            scratch = np.empty(cand_codes.shape, dtype=np.int32)
+    final = previous[cand_lengths, np.arange(active.size)] + cand_lengths
+    out[active] = np.minimum(final, big)
+    return out
 
 
 def edit_distance_many(

@@ -26,11 +26,35 @@ ids, and :meth:`QGramIndex.rows_for` expands a value back to its
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.index.kernel import encode_strings
+
+
+def adaptive_q(targets: Sequence[str]) -> int:
+    """Pick a gram size from the column's length statistics.
+
+    Longer grams are more selective on long strings (each gram carries
+    more context, so posting lists shrink) but make the count bound
+    ``(len(p) - q + 1) - k*q`` go vacuous sooner on short ones.  The
+    median value length balances the two: table-cell columns keep
+    ``q = 2`` — measured faster than ``q = 3`` even at 12-18 char
+    cells, because the count bound surviving deeper caps beats the
+    smaller posting lists — while columns of sentence-like values step
+    up.  Any choice is correctness-neutral — the filters stay provably
+    complete for every ``q`` — so this only tunes candidate-set size.
+    """
+    if not targets:
+        return 2
+    lengths = sorted(len(value) for value in targets)
+    median = lengths[len(lengths) // 2]
+    if median >= 40:
+        return 4
+    if median >= 20:
+        return 3
+    return 2
 
 
 class QGramIndex:
@@ -91,6 +115,23 @@ class QGramIndex:
         """Number of distinct values in the index."""
         return len(self.values)
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes retained by the index's numpy state.
+
+        Covers the dense code matrix (the dominant term when present),
+        the posting lists, and the per-value arrays; the value strings
+        themselves are shared with the caller's column and not counted.
+        Used by :class:`~repro.index.cache.IndexCache` for its byte
+        budget.
+        """
+        total = self.first_rows.nbytes + self.lengths.nbytes
+        if self._codes is not None:
+            total += self._codes.nbytes
+        for array in self._postings.values():
+            total += array.nbytes
+        return total
+
     def batch_codes(self, value_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(codes, lengths)`` for a candidate batch, kernel-ready.
 
@@ -115,21 +156,88 @@ class QGramIndex:
         Completeness guarantee: any indexed value ``t`` with
         ``edit_distance(query, t) <= cap`` is in the returned array.
         The array is ascending (so candidate order is deterministic).
+        Single-query form of :meth:`candidates_bucket`, which holds the
+        one copy of the filter logic.
+        """
+        return self.candidates_bucket([query], len(query), cap)[0]
+
+    def _gram_postings(self, query: str) -> list[np.ndarray]:
+        """Posting arrays for the distinct q-grams of ``query``."""
+        grams = {
+            query[i : i + self.q] for i in range(len(query) - self.q + 1)
+        }
+        return [
+            self._postings[gram] for gram in grams if gram in self._postings
+        ]
+
+    def overlap_best(
+        self, queries: Sequence[str], length: int, k: int = 8
+    ) -> list[np.ndarray]:
+        """Plausible near-neighbour value ids for each query.
+
+        Returns, per query, up to ``k`` ids of the indexed values
+        sharing the most q-grams with it (target-side multiplicities
+        included), falling back to the value of closest length when no
+        gram is shared.  The returned targets are *not* guaranteed to
+        contain the argmin — the minimum of their exact distances is an
+        **upper bound** on the query's best distance, which the batch
+        engine uses to jump cap deepening straight to a provably
+        sufficient candidate set.
+
+        Args:
+            queries: Probe strings, each of exactly ``length`` characters.
+            length: The shared probe length.
+            k: Neighbour candidates per query.
+        """
+        fallback = np.asarray(
+            [int(np.argmin(np.abs(self.lengths - length)))], dtype=np.int64
+        )
+        out: list[np.ndarray] = []
+        for query in queries:
+            arrays = self._gram_postings(query)
+            if not arrays:
+                out.append(fallback)
+                continue
+            counts = np.bincount(np.concatenate(arrays))
+            if counts.size > k:
+                top = np.argpartition(counts, -k)[-k:]
+                out.append(top[counts[top] > 0])
+            else:
+                out.append(np.nonzero(counts)[0])
+        return out
+
+    def candidates_bucket(
+        self, queries: Sequence[str], length: int, cap: int
+    ) -> list[np.ndarray]:
+        """Per-query candidate ids for a bucket of same-length queries.
+
+        Identical sets to calling :meth:`candidates` per query, but the
+        length filter — which depends only on ``length`` and ``cap`` —
+        is evaluated once for the whole bucket, and when the count bound
+        is vacuous the single shared length-compatible array serves
+        every query.  This is the batch engine's candidate generator.
+
+        Args:
+            queries: Probe strings, each of exactly ``length`` characters.
+            length: The shared probe length.
+            cap: Distance cap, as in :meth:`candidates`.
         """
         if cap < 0:
             raise ValueError(f"cap must be >= 0, got {cap}")
-        length_ok = np.abs(self.lengths - len(query)) <= cap
-        n_query_grams = len(query) - self.q + 1
-        bound = n_query_grams - cap * self.q
+        length_ok = np.abs(self.lengths - length) <= cap
+        bound = (length - self.q + 1) - cap * self.q
         if bound <= 0:
-            return np.nonzero(length_ok)[0]
-        grams = {query[i : i + self.q] for i in range(n_query_grams)}
-        arrays = [
-            self._postings[gram] for gram in grams if gram in self._postings
-        ]
-        if not arrays:
-            return np.empty(0, dtype=np.int64)
-        counts = np.bincount(
-            np.concatenate(arrays), minlength=len(self.values)
-        )
-        return np.nonzero(length_ok & (counts >= bound))[0]
+            base = np.nonzero(length_ok)[0]
+            return [base] * len(queries)
+        empty = np.empty(0, dtype=np.int64)
+        out: list[np.ndarray] = []
+        for query in queries:
+            arrays = self._gram_postings(query)
+            if not arrays:
+                out.append(empty)
+                continue
+            counts = np.bincount(
+                np.concatenate(arrays), minlength=len(self.values)
+            )
+            out.append(np.nonzero(length_ok & (counts >= bound))[0])
+        return out

@@ -9,14 +9,6 @@ from repro.tokenizer import ByteTokenizer
 from repro.types import ExamplePair
 
 
-def pytest_configure(config: pytest.Config) -> None:
-    config.addinivalue_line(
-        "markers",
-        "slow: perf-guard tests with a wall-clock budget; "
-        "deselect with -m 'not slow'",
-    )
-
-
 @pytest.fixture(scope="session")
 def tokenizer() -> ByteTokenizer:
     return ByteTokenizer()

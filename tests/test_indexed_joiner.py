@@ -19,7 +19,7 @@ from repro.utils.fuzz import random_edits, random_unicode_string
 from repro.core.joiner import EditDistanceJoiner
 from repro.datagen.benchmarks.registry import dataset_names, get_dataset
 from repro.exceptions import JoinError
-from repro.index import AutoJoiner, IndexedJoiner, make_joiner
+from repro.index import AutoJoiner, IndexCache, IndexedJoiner, make_joiner
 from repro.index.qgram import QGramIndex
 from repro.types import Prediction
 
@@ -68,6 +68,103 @@ class TestRegistryDatasetEquivalence:
                     table.name,
                     kwargs,
                 )
+
+
+class TestJoinManyEquivalence:
+    """The batch API must be byte-identical to per-probe match loops."""
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_batch_vs_scalar_on_dataset(self, name):
+        rng = random.Random(_SEED + 10)
+        tables = get_dataset(name, seed=0, scale=0.05)
+        for kwargs in _JOINER_VARIANTS:
+            indexed = IndexedJoiner(**kwargs)
+            brute = EditDistanceJoiner(**kwargs)
+            for table in tables:
+                targets = list(table.targets)
+                probes = [p.value for p in _predictions_for(targets, rng)]
+                batch = indexed.join_many(probes, targets)
+                assert batch == [
+                    indexed.match(p, targets) for p in probes
+                ], (name, table.name, kwargs)
+                assert batch == brute.join_many(probes, targets), (
+                    name,
+                    table.name,
+                    kwargs,
+                )
+
+    def test_batch_vs_scalar_fuzz(self):
+        rng = random.Random(_SEED + 11)
+        for _ in range(60):
+            targets = [
+                random_unicode_string(rng, max_length=12)
+                for _ in range(rng.randint(1, 35))
+            ]
+            targets += [rng.choice(targets) for _ in range(rng.randint(0, 5))]
+            targets += [""] * rng.randint(0, 2)
+            rng.shuffle(targets)
+            kwargs = rng.choice(_JOINER_VARIANTS)
+            indexed = IndexedJoiner(**kwargs, q=rng.choice((None, 2, 3)))
+            probes = [
+                rng.choice(
+                    (
+                        random_unicode_string(rng),
+                        random_edits(rng, rng.choice(targets), rng.randint(0, 3)),
+                        rng.choice(targets),
+                        "",
+                    )
+                )
+                for _ in range(rng.randint(0, 10))
+            ]
+            assert indexed.join_many(probes, targets) == [
+                indexed.match(p, targets) for p in probes
+            ], (probes, targets, kwargs)
+
+    def test_duplicate_probes_resolved_once_with_identical_results(self):
+        targets = ["alpha", "beta", "gamma", "beta"]
+        probes = ["betaa", "betaa", "alpha", "betaa", "", ""]
+        indexed = IndexedJoiner()
+        assert indexed.join_many(probes, targets) == [
+            indexed.match(p, targets) for p in probes
+        ]
+
+    def test_empty_probe_column(self):
+        assert IndexedJoiner().join_many([], ["a", "b"]) == []
+        # The brute reference loop never touches targets when there are
+        # no probes; the batch API mirrors that.
+        assert IndexedJoiner().join_many([], []) == []
+        assert EditDistanceJoiner().join_many([], []) == []
+
+    def test_empty_targets_with_probes_raise(self):
+        with pytest.raises(JoinError):
+            IndexedJoiner().join_many(["a"], [])
+        with pytest.raises(JoinError):
+            EditDistanceJoiner().join_many(["a"], [])
+
+    def test_join_routes_through_join_many(self):
+        targets = ["aaa", "bbb", "ccc"]
+        predictions = [
+            Prediction(source="s0", value="aab"),
+            Prediction(source="s1", value=""),
+            Prediction(source="s2", value="ccc"),
+        ]
+        for joiner in (EditDistanceJoiner(), IndexedJoiner(), AutoJoiner()):
+            results = joiner.join(predictions, targets, ["aaa", "bbb", "ccc"])
+            assert [(r.matched, r.distance) for r in results] == [
+                ("aaa", 1),
+                (None, 0),
+                ("ccc", 0),
+            ]
+
+    def test_threshold_abstentions_match_scalar(self):
+        targets = ["aaaa", "bbbb", "cccc"]
+        probes = ["aaab", "zzzz", "bbbb"]
+        for kwargs in ({"max_distance": 1}, {"normalized_threshold": 0.1}):
+            indexed = IndexedJoiner(**kwargs)
+            brute = EditDistanceJoiner(**kwargs)
+            assert indexed.join_many(probes, targets) == brute.join_many(
+                probes, targets
+            )
 
 
 class TestRandomizedEquivalence:
@@ -147,14 +244,38 @@ class TestIndexedJoinerContract:
         # "bx" and "cx" are both distance 1 from "x"; row order decides.
         assert IndexedJoiner().match("x", ["zzz", "bx", "cx"]) == ("bx", 1)
 
-    def test_index_cached_per_target_identity(self):
-        joiner = IndexedJoiner()
+    def test_index_cached_by_column_content(self):
+        joiner = IndexedJoiner(cache=IndexCache())
         targets = ["alpha", "beta", "gamma"]
         first = joiner._index_for(targets)
         assert joiner._index_for(targets) is first
         assert isinstance(first, QGramIndex)
-        # A different list object (even if equal) rebuilds.
-        assert joiner._index_for(list(targets)) is not first
+        # Content-keyed: an equal column hits the same cached index no
+        # matter which sequence object carries it.
+        assert joiner._index_for(list(targets)) is first
+        assert joiner._index_for(tuple(targets)) is first
+        # A different column misses.
+        assert joiner._index_for(["alpha", "beta"]) is not first
+
+    def test_index_shared_across_joiners_via_default_cache(self):
+        cache = IndexCache()
+        a = IndexedJoiner(cache=cache)
+        b = IndexedJoiner(cache=cache)
+        targets = ("alpha", "beta", "gamma")
+        assert a._index_for(targets) is b._index_for(targets)
+
+    def test_same_length_in_place_edit_invalidates_cache(self):
+        # Regression for the staleness hole of the old identity+length
+        # guard: overwriting a cell with a same-length value went
+        # undetected and served results from the stale index.
+        joiner = IndexedJoiner(cache=IndexCache())
+        targets = ["aaa", "bbb", "ccc"]
+        assert joiner.match("bbb", targets) == ("bbb", 0)
+        targets[1] = "zzz"  # same length, in place
+        assert joiner.match("zzz", targets) == ("zzz", 0)
+        assert joiner.match("bbb", targets) == EditDistanceJoiner().match(
+            "bbb", targets
+        )
 
     def test_lone_surrogates_equivalent_to_brute(self):
         # Regression: utf-32 encoding raises on lone surrogates; the
@@ -198,6 +319,31 @@ class TestAutoJoiner:
         auto = AutoJoiner(threshold=3)
         assert auto._delegate(["a", "b"]) is auto._brute
         assert auto._delegate(["a", "b", "c"]) is auto._indexed
+
+    def test_default_switchover_boundary_at_256(self):
+        auto = AutoJoiner()
+        assert auto.threshold == AutoJoiner.DEFAULT_THRESHOLD == 256
+        rng = random.Random(_SEED + 20)
+        below = [f"v{i:03d}" for i in range(255)]
+        exactly = [f"v{i:03d}" for i in range(256)]
+        assert auto._delegate(below) is auto._brute
+        assert auto._delegate(exactly) is auto._indexed
+        # Crossing the boundary never changes results: match, batch,
+        # and range queries agree with brute on both sides.
+        brute = EditDistanceJoiner()
+        for targets in (below, exactly):
+            probes = [
+                random_edits(rng, rng.choice(targets), rng.randint(0, 2))
+                for _ in range(6)
+            ] + ["", targets[0]]
+            assert auto.join_many(probes, targets) == brute.join_many(
+                probes, targets
+            )
+            for probe in probes:
+                assert auto.match(probe, targets) == brute.match(probe, targets)
+                assert auto.match_many(probe, targets, 0, 2) == brute.match_many(
+                    probe, targets, 0, 2
+                )
 
     def test_join_inherited_path(self):
         auto = AutoJoiner(threshold=2)
