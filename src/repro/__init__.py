@@ -31,6 +31,7 @@ from repro.core import (
     SequenceModel,
 )
 from repro.index import AutoJoiner, IndexedJoiner, make_joiner
+from repro.infer import GenerationEngine
 from repro.surrogate import GPT3Surrogate, PretrainedDTT, TrainingProfile
 from repro.metrics import score_edits, score_join
 from repro.datagen.benchmarks import dataset_names, get_dataset
@@ -52,6 +53,7 @@ __all__ = [
     "IndexedJoiner",
     "AutoJoiner",
     "make_joiner",
+    "GenerationEngine",
     "PretrainedDTT",
     "GPT3Surrogate",
     "TrainingProfile",

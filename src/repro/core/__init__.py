@@ -7,7 +7,7 @@ aggregate the per-trial predictions into one output per row.  A joiner
 then matches predictions into the target column (Eq. 5).
 """
 
-from repro.core.interface import SequenceModel
+from repro.core.interface import IncrementalSequenceModel, SequenceModel
 from repro.core.serializer import Decomposer, PromptSerializer, SubTask
 from repro.core.aggregator import Aggregator, MultiModelAggregator
 from repro.core.joiner import EditDistanceJoiner
@@ -15,6 +15,7 @@ from repro.core.pipeline import DTTPipeline
 
 __all__ = [
     "SequenceModel",
+    "IncrementalSequenceModel",
     "PromptSerializer",
     "Decomposer",
     "SubTask",

@@ -16,11 +16,14 @@ candidate.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.interface import SequenceModel
 from repro.text.edit_distance import normalized_edit_distance
 from repro.types import Prediction
+
+if TYPE_CHECKING:
+    from repro.infer.engine import GenerationEngine
 
 
 class Aggregator:
@@ -63,9 +66,30 @@ class Aggregator:
         if len(tied) == 1:
             return tied[0]
 
+        # The expensive part of consensus scoring is the edit-distance
+        # DP, which the old code recomputed for every occurrence of
+        # every pair (O(n²) DP calls): memoize it per candidate pair
+        # and read first occurrences from one precomputed map instead
+        # of repeated ``list.index`` scans.  Pairs are memoized
+        # *ordered* (ANED normalizes by the target length, so the
+        # distance is not symmetric) and the per-occurrence summation
+        # order is kept bit-for-bit identical to the original.
+        first_occurrence: dict[str, int] = {}
+        for position, value in enumerate(all_candidates):
+            first_occurrence.setdefault(value, position)
+        pair_distance: dict[tuple[str, str], float] = {}
+
+        def distance(value: str, other: str) -> float:
+            key = (value, other)
+            cached = pair_distance.get(key)
+            if cached is None:
+                cached = normalized_edit_distance(value, other)
+                pair_distance[key] = cached
+            return cached
+
         def consensus_score(value: str) -> float:
             distances = [
-                normalized_edit_distance(value, other)
+                distance(value, other)
                 for other in all_candidates
                 if other != value
             ]
@@ -74,8 +98,9 @@ class Aggregator:
             return -sum(distances) / len(distances)
 
         # Highest consensus wins; fall back to first occurrence order.
-        order = {value: all_candidates.index(value) for value in tied}
-        return max(tied, key=lambda v: (consensus_score(v), -order[v]))
+        return max(
+            tied, key=lambda v: (consensus_score(v), -first_occurrence[v])
+        )
 
 
 class MultiModelAggregator:
@@ -84,23 +109,44 @@ class MultiModelAggregator:
     Args:
         models: The sequence models to ensemble.
         aggregator: Vote aggregator applied to the pooled candidates.
+        engine: Generation engine that schedules the decoding work; a
+            default greedy :class:`~repro.infer.GenerationEngine` is
+            created when omitted.
     """
 
     def __init__(
         self,
         models: Sequence[SequenceModel],
         aggregator: Aggregator | None = None,
+        engine: GenerationEngine | None = None,
     ) -> None:
         if not models:
             raise ValueError("MultiModelAggregator requires at least one model")
         self.models = list(models)
         self.aggregator = aggregator or Aggregator()
+        if engine is None:
+            # Imported lazily: repro.infer's engine consumes the model
+            # protocols defined in this package, so a module-level
+            # import here would be circular.
+            from repro.infer.engine import GenerationEngine
+
+            engine = GenerationEngine()
+        self.engine = engine
 
     @property
     def name(self) -> str:
         return "+".join(model.name for model in self.models)
 
     def generate_candidates(self, prompts: list[str]) -> list[list[str]]:
-        """Return per-prompt candidate lists, one candidate per model."""
-        per_model = [model.generate(prompts) for model in self.models]
+        """Return per-prompt candidate lists, one candidate per model.
+
+        All prompts of all trials are handed to the generation engine in
+        one scheduled call: each incremental model's whole workload goes
+        through prompt dedupe, length-bucketed micro-batching, and live
+        compaction; non-incremental models fall back to their own
+        ``generate`` inside the same pass.
+        """
+        per_model = self.engine.run(
+            [(model, prompts) for model in self.models]
+        )
         return [list(outputs) for outputs in zip(*per_model)]

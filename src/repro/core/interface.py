@@ -5,11 +5,18 @@ framework (§5.6) and even ensembles the two (§5.7).  We capture that
 pluggability with a minimal protocol: a model maps serialized prompts to
 predicted target strings.  The numpy transformer, the pretrained-DTT
 induction engine, and the GPT-3 surrogate all implement it.
+
+Models that can decode *incrementally* — token by token against a KV
+cache instead of re-running the full prefix — additionally implement
+:class:`IncrementalSequenceModel`.  The generation engine
+(:mod:`repro.infer`) detects that capability at runtime and takes over
+their decode loop (dedupe, micro-batching, compaction); anything else
+keeps its own ``generate``.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, Sequence, runtime_checkable
 
 
 @runtime_checkable
@@ -31,5 +38,32 @@ class SequenceModel(Protocol):
         Returns:
             One predicted target string per prompt.  The empty string
             denotes an abstention (the model emitted only ``<eos>``).
+        """
+        ...
+
+
+@runtime_checkable
+class IncrementalSequenceModel(SequenceModel, Protocol):
+    """A sequence model whose decode loop the engine can own.
+
+    The two methods split ``generate`` at the point the scheduler needs:
+    tokenization happens up front (the engine buckets and dedupes on
+    token sequences), then each scheduled micro-batch is opened as a
+    decode session.
+    """
+
+    def tokenize_prompts(self, prompts: list[str]) -> list[list[int]]:
+        """Tokenize (and truncate) prompts for scheduling."""
+        ...
+
+    def start_decode(self, prompt_ids: Sequence[Sequence[int]]) -> Any:
+        """Encode a tokenized micro-batch and open a decode session.
+
+        Returns:
+            A session exposing ``sos_id``, ``eos_id``, ``max_steps``,
+            ``step(token_ids) -> logits``, ``compact(keep)``, and
+            ``decode_tokens(ids) -> str`` — see
+            :class:`repro.infer.session.DecodeSession`, the reference
+            implementation.
         """
         ...

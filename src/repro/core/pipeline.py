@@ -11,7 +11,7 @@ cases:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.aggregator import Aggregator, MultiModelAggregator
 from repro.core.interface import SequenceModel
@@ -19,6 +19,9 @@ from repro.core.joiner import EditDistanceJoiner
 from repro.core.serializer import Decomposer, PromptSerializer
 from repro.types import ExamplePair, JoinResult, Prediction
 from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:
+    from repro.infer.engine import GenerationEngine
 
 
 class DTTPipeline:
@@ -41,6 +44,13 @@ class DTTPipeline:
             share q-gram indexes through the process-level
             :class:`~repro.index.cache.IndexCache`, so repeated
             pipelines over the same target column never rebuild.
+        engine: Generation engine scheduling the prediction stage; all
+            prompts of all trials are handed to it in one call, where
+            incremental models (the trained byte-level transformer) get
+            KV-cached decoding with prompt dedupe, length-bucketed
+            micro-batching, and live compaction of finished rows.
+            Defaults to a greedy engine, byte-identical to the
+            full-prefix decode it replaced.
     """
 
     def __init__(
@@ -50,11 +60,12 @@ class DTTPipeline:
         n_trials: int = 5,
         seed: int = 0,
         joiner: EditDistanceJoiner | str | None = None,
+        engine: GenerationEngine | None = None,
     ) -> None:
         models = [model] if isinstance(model, SequenceModel) else list(model)
         if not models:
             raise ValueError("DTTPipeline requires at least one model")
-        self._ensemble = MultiModelAggregator(models)
+        self._ensemble = MultiModelAggregator(models, engine=engine)
         self.decomposer = Decomposer(
             context_size=context_size, n_trials=n_trials, seed=seed
         )
@@ -77,6 +88,11 @@ class DTTPipeline:
     @property
     def models(self) -> list[SequenceModel]:
         return self._ensemble.models
+
+    @property
+    def engine(self) -> GenerationEngine:
+        """The generation engine scheduling the prediction stage."""
+        return self._ensemble.engine
 
     def transform_column(
         self,

@@ -1,0 +1,260 @@
+"""The generation engine: batched, scheduled auto-regressive decoding.
+
+:class:`GenerationEngine` owns the decode loop that used to live inside
+``ByteSeq2SeqModel.generate``.  Given one or more ``(model, prompts)``
+jobs it schedules the actual decoding work:
+
+* **Dedupe** — in greedy mode, identical tokenized prompts (across the
+  trials of a scheduled call) decode once and fan back out to every
+  occurrence.  Sampling mode never dedupes: repeated prompts draw
+  independent samples, matching the surrogates' occurrence semantics.
+* **Length-bucketed micro-batching** — prompts are sorted by token
+  length and grouped into buckets of similar length (``bucket_width``),
+  then chunked at ``max_batch_size``, so short prompts don't pay the
+  padded cost of the longest prompt in the call.
+* **Live compaction** — rows that emit ``<eos>`` are sliced out of the
+  micro-batch (KV caches included) mid-decode, so a few long outputs
+  don't drag finished rows through the remaining steps.
+
+Models that do not expose the incremental-decoding interface (the
+surrogates, or any external :class:`~repro.core.interface.SequenceModel`)
+fall back to their own ``generate``, keeping the engine a drop-in
+scheduler for heterogeneous ensembles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interface import IncrementalSequenceModel, SequenceModel
+from repro.nn.functional import softmax
+from repro.utils.rng import derive_rng
+
+_MODES = ("greedy", "sample")
+
+
+@dataclass
+class EngineStats:
+    """Counters from the most recent :meth:`GenerationEngine.generate`.
+
+    Attributes:
+        prompts: Prompts requested.
+        decoded_rows: Rows actually decoded (post-dedupe).  Zero when
+            the call fell back to a non-incremental model's own
+            ``generate`` — the engine decoded nothing itself.
+        chunks: Micro-batches scheduled.
+        steps: Total ``decode_step`` calls across all chunks.
+        row_steps: Sum of live batch sizes over those steps — the number
+            of per-row decode operations actually paid.  With compaction
+            this is strictly less than ``decoded_rows * max_steps`` when
+            rows finish early.
+    """
+
+    prompts: int = 0
+    decoded_rows: int = 0
+    chunks: int = 0
+    steps: int = 0
+    row_steps: int = 0
+
+
+@dataclass
+class _Workload:
+    """One unique decode row and the request indices it fans out to."""
+
+    token_ids: list[int]
+    rows: list[int] = field(default_factory=list)
+
+
+class GenerationEngine:
+    """Schedules auto-regressive decoding for one or more models.
+
+    Args:
+        mode: ``"greedy"`` (deterministic argmax) or ``"sample"``
+            (temperature sampling).
+        temperature: Softmax temperature for sampling mode (> 0).
+        seed: Sampling seed; the engine is deterministic given the seed,
+            the model, and the prompt list.
+        max_batch_size: Largest decode micro-batch.
+        bucket_width: Prompt-length bucket granularity in tokens; 1
+            buckets only exactly-equal lengths, larger values trade a
+            little padding for bigger micro-batches.
+        dedupe: Collapse identical prompts before decoding (greedy mode
+            only; sampling always decodes every occurrence).
+        stop_on_eos: Stop a row at its first ``<eos>``.  Disabled only
+            by benchmarks that need every row to run the full budget.
+    """
+
+    def __init__(
+        self,
+        mode: str = "greedy",
+        temperature: float = 1.0,
+        seed: int = 0,
+        max_batch_size: int = 64,
+        bucket_width: int = 16,
+        dedupe: bool = True,
+        stop_on_eos: bool = True,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if mode == "sample" and temperature <= 0.0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if bucket_width < 1:
+            raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
+        self.mode = mode
+        self.temperature = temperature
+        self.seed = seed
+        self.max_batch_size = max_batch_size
+        self.bucket_width = bucket_width
+        self.dedupe = dedupe
+        self.stop_on_eos = stop_on_eos
+        self.last_stats = EngineStats()
+
+    # -- scheduling entry points ------------------------------------------
+
+    def run(
+        self, jobs: Sequence[tuple[SequenceModel, Sequence[str]]]
+    ) -> list[list[str]]:
+        """Run every ``(model, prompts)`` job through one scheduled pass.
+
+        The per-model workloads are planned independently (different
+        models share no weights, so their decodes cannot be merged), but
+        each incremental model's full prompt set — all trials at once —
+        goes through dedupe, bucketing, and compaction as one batch.
+
+        Returns:
+            One output list per job, aligned with the job's prompts.
+        """
+        return [self.generate(model, prompts) for model, prompts in jobs]
+
+    def generate(
+        self, model: SequenceModel, prompts: Sequence[str]
+    ) -> list[str]:
+        """Generate one output per prompt with ``model``.
+
+        Incremental models decode through the engine's scheduled loop;
+        any other ``SequenceModel`` falls back to its own ``generate``.
+        A model carrying its *own* configured engine (for example a
+        sampling engine on one ensemble member) is delegated to it —
+        the most specific engine wins.
+        """
+        prompts = list(prompts)
+        if not prompts:
+            return []
+        own_engine = getattr(model, "engine", None)
+        if isinstance(own_engine, GenerationEngine) and own_engine is not self:
+            outputs = own_engine.generate(model, prompts)
+            self.last_stats = own_engine.last_stats
+            return outputs
+        if not isinstance(model, IncrementalSequenceModel):
+            self.last_stats = EngineStats(prompts=len(prompts))
+            return model.generate(prompts)
+
+        token_ids = model.tokenize_prompts(prompts)
+        workloads = self._collect(token_ids)
+        stats = EngineStats(prompts=len(prompts), decoded_rows=len(workloads))
+        rng = (
+            derive_rng(self.seed, "generate", getattr(model, "name", ""))
+            if self.mode == "sample"
+            else None
+        )
+        results: list[str | None] = [None] * len(prompts)
+        for chunk in self._plan(workloads):
+            outputs = self._decode_chunk(
+                model, [w.token_ids for w in chunk], rng, stats
+            )
+            stats.chunks += 1
+            for workload, text in zip(chunk, outputs, strict=True):
+                for row in workload.rows:
+                    results[row] = text
+        self.last_stats = stats
+        assert all(text is not None for text in results)
+        return results  # type: ignore[return-value]
+
+    # -- planning ----------------------------------------------------------
+
+    def _collect(self, token_ids: list[list[int]]) -> list[_Workload]:
+        """Build unique decode rows, collapsing duplicates in greedy mode."""
+        if not (self.dedupe and self.mode == "greedy"):
+            return [_Workload(ids, [row]) for row, ids in enumerate(token_ids)]
+        groups: dict[tuple[int, ...], _Workload] = {}
+        for row, ids in enumerate(token_ids):
+            key = tuple(ids)
+            workload = groups.get(key)
+            if workload is None:
+                workload = _Workload(ids)
+                groups[key] = workload
+            workload.rows.append(row)
+        return list(groups.values())
+
+    def _plan(self, workloads: list[_Workload]) -> list[list[_Workload]]:
+        """Sort by prompt length, bucket, and chunk to the batch cap."""
+        ordered = sorted(workloads, key=lambda w: len(w.token_ids))
+        chunks: list[list[_Workload]] = []
+        current: list[_Workload] = []
+        current_bucket: int | None = None
+        for workload in ordered:
+            bucket = len(workload.token_ids) // self.bucket_width
+            if current and (
+                bucket != current_bucket or len(current) >= self.max_batch_size
+            ):
+                chunks.append(current)
+                current = []
+            current_bucket = bucket
+            current.append(workload)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # -- the decode loop ---------------------------------------------------
+
+    def _decode_chunk(
+        self,
+        model: IncrementalSequenceModel,
+        prompt_ids: list[list[int]],
+        rng: np.random.Generator | None,
+        stats: EngineStats,
+    ) -> list[str]:
+        """Decode one micro-batch, compacting finished rows out live."""
+        session = model.start_decode(prompt_ids)
+        n_rows = len(prompt_ids)
+        tokens: list[list[int]] = [[] for _ in range(n_rows)]
+        live = np.arange(n_rows)
+        current = np.full(n_rows, session.sos_id, dtype=np.int64)
+        for _ in range(session.max_steps):
+            logits = session.step(current)
+            stats.steps += 1
+            stats.row_steps += live.size
+            next_ids = self._choose(logits, rng)
+            for slot, row in enumerate(live):
+                tokens[row].append(int(next_ids[slot]))
+            if not self.stop_on_eos:
+                current = next_ids
+                continue
+            finished = next_ids == session.eos_id
+            if finished.any():
+                keep = ~finished
+                live = live[keep]
+                if live.size == 0:
+                    break
+                session.compact(keep)
+                current = next_ids[keep]
+            else:
+                current = next_ids
+        return [session.decode_tokens(row_tokens) for row_tokens in tokens]
+
+    def _choose(
+        self, logits: np.ndarray, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Pick next tokens: argmax (greedy) or temperature sampling."""
+        if self.mode == "greedy":
+            return logits.argmax(axis=-1)
+        assert rng is not None
+        probs = softmax(logits / self.temperature, axis=-1)
+        draws = rng.random((probs.shape[0], 1))
+        next_ids = (probs.cumsum(axis=-1) < draws).sum(axis=-1)
+        return np.minimum(next_ids, probs.shape[-1] - 1)

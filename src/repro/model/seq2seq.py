@@ -1,22 +1,41 @@
 """Byte-level sequence-to-sequence model over the numpy transformer.
 
-Implements the :class:`~repro.core.interface.SequenceModel` protocol:
-``generate`` consumes serialized DTT prompts and emits decoded strings,
-so a trained instance plugs into :class:`~repro.core.pipeline.DTTPipeline`
-exactly like the pretrained stand-in or the GPT-3 surrogate.
+Implements the :class:`~repro.core.interface.IncrementalSequenceModel`
+protocol: ``generate`` consumes serialized DTT prompts and emits decoded
+strings, so a trained instance plugs into
+:class:`~repro.core.pipeline.DTTPipeline` exactly like the pretrained
+stand-in or the GPT-3 surrogate — and because the model exposes
+``tokenize_prompts`` / ``start_decode``, the generation engine owns its
+decode loop (KV-cached incremental steps, prompt dedupe, length-bucketed
+micro-batching, live compaction).  ``generate_full_prefix`` keeps the
+original O(T²) re-decode loop as the equivalence reference and benchmark
+baseline.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
+from repro.infer.engine import GenerationEngine
+from repro.infer.session import DecodeSession
 from repro.model.config import DTTModelConfig
 from repro.nn.loss import masked_cross_entropy
 from repro.nn.serialization import load_weights, save_weights
 from repro.nn.transformer import Seq2SeqTransformer
 from repro.tokenizer import ByteTokenizer
+
+_DEFAULT_ENGINE: GenerationEngine | None = None
+
+
+def _default_engine() -> GenerationEngine:
+    """The shared greedy engine behind engine-less ``generate`` calls."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = GenerationEngine()
+    return _DEFAULT_ENGINE
 
 
 class ByteSeq2SeqModel:
@@ -25,15 +44,23 @@ class ByteSeq2SeqModel:
     Args:
         config: Hyper-parameters; defaults to the laptop-scale config.
         tokenizer: Byte tokenizer; a default instance is created.
+        engine: Generation engine driving :meth:`generate`.  When set,
+            it also takes precedence over a pipeline-level scheduling
+            engine for this model's jobs (most specific wins); when
+            omitted, the model decodes greedily — byte-identical to the
+            full-prefix reference — and defers to whichever engine
+            schedules it.
     """
 
     def __init__(
         self,
         config: DTTModelConfig | None = None,
         tokenizer: ByteTokenizer | None = None,
+        engine: GenerationEngine | None = None,
     ) -> None:
         self.config = config or DTTModelConfig()
         self.tokenizer = tokenizer or ByteTokenizer()
+        self.engine = engine
         self.network = Seq2SeqTransformer(
             vocab_size=self.tokenizer.vocab_size,
             dim=self.config.dim,
@@ -103,15 +130,45 @@ class ByteSeq2SeqModel:
     # -- inference ----------------------------------------------------------
 
     def generate(self, prompts: list[str]) -> list[str]:
-        """Greedy auto-regressive decoding, batched over prompts."""
-        if not prompts:
-            return []
-        vocab = self.tokenizer.vocab
-        encoded = [
+        """Auto-regressive decoding through the generation engine.
+
+        The engine steps the decoder incrementally against per-layer KV
+        caches; in greedy mode the outputs are byte-identical to
+        :meth:`generate_full_prefix`.  Uses the model's own engine when
+        one was configured, else a shared default greedy engine.
+        """
+        engine = self.engine or _default_engine()
+        return engine.generate(self, prompts)
+
+    def tokenize_prompts(self, prompts: list[str]) -> list[list[int]]:
+        """Tokenize prompts, truncated to ``max_input_length``."""
+        return [
             self.tokenizer.encode(p)[: self.config.max_input_length]
             for p in prompts
         ]
-        input_ids, input_mask = self.tokenizer.pad_batch(encoded)
+
+    def start_decode(self, prompt_ids: Sequence[Sequence[int]]) -> DecodeSession:
+        """Encode a tokenized micro-batch and open a decode session."""
+        return DecodeSession(
+            self.network,
+            self.tokenizer,
+            prompt_ids,
+            max_steps=self.config.max_output_length - 1,
+        )
+
+    def generate_full_prefix(self, prompts: list[str]) -> list[str]:
+        """Greedy decoding that re-decodes the full prefix every step.
+
+        The pre-engine O(T²) reference path: kept for the equivalence
+        suite (``tests/test_generation.py``) and as the baseline of
+        ``benchmarks/bench_generate.py``.
+        """
+        if not prompts:
+            return []
+        vocab = self.tokenizer.vocab
+        input_ids, input_mask = self.tokenizer.pad_batch(
+            self.tokenize_prompts(prompts)
+        )
         memory = self.network.encode(input_ids, input_mask)
 
         batch = len(prompts)

@@ -16,9 +16,11 @@ at laptop scale (see DESIGN.md §2 for the substitution rationale).
 
 from repro.nn.parameter import Module, Parameter
 from repro.nn.layers import Dense, Embedding, LayerNorm
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import KVCache, MultiHeadAttention, causal_bias
 from repro.nn.transformer import (
     DecoderBlock,
+    DecoderBlockState,
+    DecoderState,
     EncoderBlock,
     FeedForward,
     Seq2SeqTransformer,
@@ -34,9 +36,13 @@ __all__ = [
     "Embedding",
     "LayerNorm",
     "MultiHeadAttention",
+    "KVCache",
+    "causal_bias",
     "FeedForward",
     "EncoderBlock",
     "DecoderBlock",
+    "DecoderBlockState",
+    "DecoderState",
     "Seq2SeqTransformer",
     "masked_cross_entropy",
     "Adam",

@@ -3,6 +3,15 @@
 Supports self-attention (queries, keys, values from one sequence),
 cross-attention (keys/values from encoder memory), causal masking for
 the auto-regressive decoder, and key padding masks.
+
+Two execution styles share the projection weights:
+
+* the **batch** path (:meth:`MultiHeadAttention.forward`) attends a full
+  query sequence and caches activations for :meth:`backward`; and
+* the **incremental** path (:meth:`MultiHeadAttention.step` /
+  :meth:`attend_cached`) attends a length-1 query against a
+  :class:`KVCache` of previously projected keys/values, which is what
+  makes auto-regressive decoding O(T) per step instead of O(T²).
 """
 
 from __future__ import annotations
@@ -15,6 +24,71 @@ from repro.nn.layers import Dense
 from repro.nn.parameter import Module
 
 _NEG_INF = -1e9
+
+# One process-level additive causal mask, grown to the largest shape
+# requested (rounded up to soften reallocation churn) and served as
+# read-only top-aligned views, so repeated full-prefix decodes retain a
+# single max_length² array instead of one mask per prefix length.
+_CAUSAL_BIAS: np.ndarray = np.empty((0, 0))
+_CAUSAL_GROWTH = 64
+
+
+def causal_bias(q_len: int, kv_len: int) -> np.ndarray:
+    """Return the cached additive causal mask ``(1 - tril) * -1e9``.
+
+    The returned array is a read-only ``(q_len, kv_len)`` view; row
+    ``i`` admits keys ``j <= i`` (top-aligned, matching
+    ``np.tril(np.ones((q_len, kv_len)))``).
+    """
+    global _CAUSAL_BIAS
+    size = max(q_len, kv_len)
+    if _CAUSAL_BIAS.shape[0] < size:
+        size = -(-size // _CAUSAL_GROWTH) * _CAUSAL_GROWTH
+        bias = (1.0 - np.tril(np.ones((size, size)))) * _NEG_INF
+        bias.setflags(write=False)
+        _CAUSAL_BIAS = bias
+    return _CAUSAL_BIAS[:q_len, :kv_len]
+
+
+class KVCache:
+    """Preallocated per-layer key/value store for incremental decoding.
+
+    Keys and values are appended one step at a time (already split into
+    heads) and read back as views, so the decode loop never reprojects
+    or copies the growing prefix.
+
+    Args:
+        batch: Batch size of the decode micro-batch.
+        n_heads: Attention heads.
+        capacity: Maximum number of steps that will be appended.
+        head_dim: Per-head width.
+    """
+
+    def __init__(self, batch: int, n_heads: int, capacity: int, head_dim: int) -> None:
+        self.keys = np.zeros((batch, n_heads, capacity, head_dim))
+        self.values = np.zeros((batch, n_heads, capacity, head_dim))
+        self.length = 0
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append one step of projected keys/values ``(batch, heads, 1, hd)``."""
+        step = keys.shape[2]
+        if self.length + step > self.keys.shape[2]:
+            raise ModelError(
+                f"KV cache overflow: {self.length} + {step} exceeds "
+                f"capacity {self.keys.shape[2]}"
+            )
+        self.keys[:, :, self.length : self.length + step] = keys
+        self.values[:, :, self.length : self.length + step] = values
+        self.length += step
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the filled prefix ``(batch, heads, length, head_dim)``."""
+        return self.keys[:, :, : self.length], self.values[:, :, : self.length]
+
+    def select(self, keep: np.ndarray) -> None:
+        """Keep only the batch rows flagged in boolean ``keep``."""
+        self.keys = self.keys[keep]
+        self.values = self.values[keep]
 
 
 class MultiHeadAttention(Module):
@@ -67,7 +141,13 @@ class MultiHeadAttention(Module):
         Args:
             queries: ``(batch, q_len, dim)``.
             keys_values: ``(batch, kv_len, dim)`` or None for self-attn.
-            key_mask: ``(batch, kv_len)`` with 1.0 for real tokens.
+            key_mask: ``(batch, kv_len)`` with 1.0 for real tokens.  A
+                row with *zero* real keys is degenerate: every score is
+                ``-1e9`` and the softmax falls back to a uniform average
+                over padding positions.  Callers must not feed fully
+                padded rows through this batch path (the incremental
+                :meth:`attend_cached` defines the result as a zero
+                context instead).
         """
         source = queries if keys_values is None else keys_values
         q = self._split_heads(self.query_proj.forward(queries))
@@ -79,14 +159,73 @@ class MultiHeadAttention(Module):
         if key_mask is not None:
             scores = scores + (1.0 - key_mask[:, None, None, :]) * _NEG_INF
         if self.causal:
-            q_len, kv_len = scores.shape[-2], scores.shape[-1]
-            causal_mask = np.tril(np.ones((q_len, kv_len)))
-            scores = scores + (1.0 - causal_mask) * _NEG_INF
+            scores = scores + causal_bias(scores.shape[-2], scores.shape[-1])
         probs = softmax(scores, axis=-1)
         context = probs @ v
         output = self.output_proj.forward(self._merge_heads(context))
         self._cache = (q, k, v, probs, scale, keys_values is None)
         return output
+
+    # -- incremental decoding ---------------------------------------------
+
+    def project_kv(self, source: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project ``source`` into split-head keys/values once.
+
+        Used for cross-attention: the encoder memory is fixed for the
+        whole decode, so its K/V projections are computed one time and
+        reused by every :meth:`attend_cached` step.
+        """
+        keys = self._split_heads(self.key_proj.infer(source))
+        values = self._split_heads(self.value_proj.infer(source))
+        return keys, values
+
+    def attend_cached(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        key_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Attend ``queries`` over pre-projected split-head keys/values.
+
+        Args:
+            queries: ``(batch, q_len, dim)`` (length-1 during decoding).
+            keys: ``(batch, heads, kv_len, head_dim)``.
+            values: ``(batch, heads, kv_len, head_dim)``.
+            key_mask: ``(batch, kv_len)`` with 1.0 for real tokens.  A
+                row with zero real keys yields a *zero* context vector
+                (only the output projection's bias survives) instead of
+                the batch path's degenerate uniform-over-padding mix.
+        """
+        q = self._split_heads(self.query_proj.infer(queries))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ keys.transpose(0, 1, 3, 2)) * scale
+        if key_mask is not None:
+            scores = scores + (1.0 - key_mask[:, None, None, :]) * _NEG_INF
+        probs = softmax(scores, axis=-1)
+        context = probs @ values
+        if key_mask is not None:
+            empty = ~key_mask.any(axis=-1)
+            if empty.any():
+                context[empty] = 0.0
+        return self.output_proj.infer(self._merge_heads(context))
+
+    def step(self, queries: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Causal self-attention for one decode step.
+
+        Projects the new position's K/V, appends them to ``cache``, and
+        attends the length-1 query against the filled prefix.  No causal
+        mask is needed: every cached position precedes the query.
+
+        Args:
+            queries: ``(batch, 1, dim)`` — the current position only.
+            cache: This layer's :class:`KVCache`.
+        """
+        keys_new = self._split_heads(self.key_proj.infer(queries))
+        values_new = self._split_heads(self.value_proj.infer(queries))
+        cache.append(keys_new, values_new)
+        keys, values = cache.view()
+        return self.attend_cached(queries, keys, values)
 
     def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
         """Backprop; returns ``(d_queries, d_keys_values)``.

@@ -33,6 +33,10 @@ class Dense(Module):
         self._x = x
         return x @ self.weight.value + self.bias.value
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward without caching activations (inference hot path)."""
+        return x @ self.weight.value + self.bias.value
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._x is not None, "forward must run before backward"
         x = self._x
@@ -54,6 +58,10 @@ class Embedding(Module):
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
         self._ids = ids
+        return self.table.value[ids]
+
+    def infer(self, ids: np.ndarray) -> np.ndarray:
+        """Lookup without caching ids (inference hot path)."""
         return self.table.value[ids]
 
     def backward(self, grad_output: np.ndarray) -> None:
@@ -79,6 +87,13 @@ class LayerNorm(Module):
         normalized = (x - mean) * inv_std
         self._cache = (normalized, inv_std, x)
         return normalized * self.gain.value + self.shift.value
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Normalize without caching activations (inference hot path)."""
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        return (x - mean) * inv_std * self.gain.value + self.shift.value
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "forward must run before backward"

@@ -4,14 +4,25 @@ The architecture mirrors ByT5's design choices at reduced scale:
 byte-level vocabulary, learned positional embeddings, pre-layer-norm
 blocks, and an *unbalanced* stack — the encoder deeper than the decoder
 — which the paper adopts for character-level inputs (§4.2).
+
+Decoding has two paths.  :meth:`Seq2SeqTransformer.decode` is the
+teacher-forcing path: it attends the whole target prefix at once and
+caches activations for the backward pass.  The incremental path
+(:meth:`start_decoder_state` + :meth:`decode_step`) carries a
+:class:`DecoderState` — per-block self-attention KV caches, one-time
+cross-attention K/V projections of the encoder memory, and a position
+offset — so each generated token costs O(T) instead of re-decoding the
+O(T²) growing prefix.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.exceptions import ModelError
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import KVCache, MultiHeadAttention
 from repro.nn.functional import gelu, gelu_backward
 from repro.nn.layers import Dense, Embedding, LayerNorm
 from repro.nn.parameter import Module
@@ -29,6 +40,10 @@ class FeedForward(Module):
         pre = self.expand.forward(x)
         self._pre_activation = pre
         return self.contract.forward(gelu(pre))
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward without caching activations (inference hot path)."""
+        return self.contract.infer(gelu(self.expand.infer(x)))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._pre_activation is not None
@@ -62,6 +77,58 @@ class EncoderBlock(Module):
         return grad + self.attn_norm.backward(grad_attn)
 
 
+@dataclass
+class DecoderBlockState:
+    """Per-block incremental decode state.
+
+    Attributes:
+        self_kv: Growing KV cache of the block's causal self-attention.
+        cross_keys: Pre-projected encoder-memory keys
+            ``(batch, heads, mem_len, head_dim)``.
+        cross_values: Pre-projected encoder-memory values.
+    """
+
+    self_kv: KVCache
+    cross_keys: np.ndarray
+    cross_values: np.ndarray
+
+    def select(self, keep: np.ndarray) -> None:
+        """Keep only the batch rows flagged in boolean ``keep``."""
+        self.self_kv.select(keep)
+        self.cross_keys = self.cross_keys[keep]
+        self.cross_values = self.cross_values[keep]
+
+
+@dataclass
+class DecoderState:
+    """Whole-decoder incremental state: one entry per decoder block.
+
+    Attributes:
+        blocks: Per-block KV caches and cross projections.
+        memory_mask: ``(batch, mem_len)`` encoder padding mask.
+        position: Index of the *next* position to decode (0 = ``<sos>``).
+    """
+
+    blocks: list[DecoderBlockState]
+    memory_mask: np.ndarray | None
+    position: int = 0
+
+    @property
+    def batch_size(self) -> int:
+        return self.blocks[0].cross_keys.shape[0]
+
+    def select(self, keep: np.ndarray) -> None:
+        """Compact the batch down to the rows flagged in boolean ``keep``.
+
+        Used by the generation engine to drop finished rows out of the
+        micro-batch mid-decode.
+        """
+        for block in self.blocks:
+            block.select(keep)
+        if self.memory_mask is not None:
+            self.memory_mask = self.memory_mask[keep]
+
+
 class DecoderBlock(Module):
     """Pre-LN decoder block: causal self-attn, cross-attn, FFN."""
 
@@ -86,6 +153,34 @@ class DecoderBlock(Module):
             self.cross_norm.forward(x), keys_values=memory, key_mask=memory_mask
         )
         x = x + self.ffn.forward(self.ffn_norm.forward(x))
+        return x
+
+    def start_state(self, memory: np.ndarray, capacity: int) -> DecoderBlockState:
+        """Build this block's incremental state for a decode micro-batch."""
+        cross_keys, cross_values = self.cross_attention.project_kv(memory)
+        batch = memory.shape[0]
+        attn = self.self_attention
+        return DecoderBlockState(
+            self_kv=KVCache(batch, attn.n_heads, capacity, attn.head_dim),
+            cross_keys=cross_keys,
+            cross_values=cross_values,
+        )
+
+    def step(
+        self,
+        x: np.ndarray,
+        state: DecoderBlockState,
+        memory_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        """Incremental forward for one position ``(batch, 1, dim)``."""
+        x = x + self.self_attention.step(self.self_norm.infer(x), state.self_kv)
+        x = x + self.cross_attention.attend_cached(
+            self.cross_norm.infer(x),
+            state.cross_keys,
+            state.cross_values,
+            key_mask=memory_mask,
+        )
+        x = x + self.ffn.infer(self.ffn_norm.infer(x))
         return x
 
     def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -182,6 +277,63 @@ class Seq2SeqTransformer(Module):
         for block in self.decoder_blocks:
             y = block.forward(y, memory, memory_mask)
         return self.output_proj.forward(self.decoder_norm.forward(y))
+
+    def start_decoder_state(
+        self,
+        memory: np.ndarray,
+        memory_mask: np.ndarray | None = None,
+        capacity: int | None = None,
+    ) -> DecoderState:
+        """Initialize incremental decoding over encoded ``memory``.
+
+        Projects the encoder memory into every block's cross-attention
+        K/V once and allocates the self-attention KV caches.
+
+        Args:
+            memory: ``(batch, mem_len, dim)`` encoder output.
+            memory_mask: ``(batch, mem_len)`` padding mask.
+            capacity: Maximum decode steps (defaults to ``max_length``).
+        """
+        if capacity is None:
+            capacity = self.max_length
+        self._check_length(capacity)
+        return DecoderState(
+            blocks=[
+                block.start_state(memory, capacity)
+                for block in self.decoder_blocks
+            ],
+            memory_mask=memory_mask,
+        )
+
+    def decode_step(
+        self, token_ids: np.ndarray, state: DecoderState
+    ) -> np.ndarray:
+        """Decode one token per row and return next-token logits.
+
+        Equivalent to the last position of :meth:`decode` over the full
+        prefix, but costs O(prefix) instead of O(prefix²): self-attention
+        K/V come from the per-block caches in ``state`` and the encoder
+        memory's cross K/V were projected once at state creation.
+
+        Args:
+            token_ids: ``(batch,)`` current tokens (``<sos>`` first).
+            state: Mutable decode state; advanced by one position.
+
+        Returns:
+            ``(batch, vocab_size)`` logits for the next token.
+        """
+        self._check_length(state.position + 1)
+        positions = np.full(
+            (token_ids.shape[0], 1), state.position, dtype=np.int64
+        )
+        y = self.decoder_token_embedding.infer(
+            token_ids[:, None]
+        ) + self.decoder_position_embedding.infer(positions)
+        for block, block_state in zip(self.decoder_blocks, state.blocks):
+            y = block.step(y, block_state, state.memory_mask)
+        state.position += 1
+        logits = self.output_proj.infer(self.decoder_norm.infer(y))
+        return logits[:, 0, :]
 
     def forward(
         self,

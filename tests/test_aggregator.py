@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+from collections import Counter
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.aggregator import Aggregator, MultiModelAggregator
+from repro.text.edit_distance import normalized_edit_distance
+
+
+def _reference_break_ties(tied: list[str], all_candidates: list[str]) -> str:
+    """The pre-memoization O(n²) tie-break, kept as the oracle."""
+
+    def consensus_score(value: str) -> float:
+        distances = [
+            normalized_edit_distance(value, other)
+            for other in all_candidates
+            if other != value
+        ]
+        if not distances:
+            return 0.0
+        return -sum(distances) / len(distances)
+
+    order = {value: all_candidates.index(value) for value in tied}
+    return max(tied, key=lambda v: (consensus_score(v), -order[v]))
 
 
 class _StaticModel:
@@ -56,6 +76,24 @@ class TestAggregator:
     def test_candidates_preserved(self):
         prediction = Aggregator().aggregate("s", ["a", "b"])
         assert prediction.candidates == ("a", "b")
+
+    @given(
+        st.lists(
+            st.sampled_from(["ab", "abc", "abd", "xyz", "xzy", "q"]),
+            min_size=2,
+            max_size=14,
+        )
+    )
+    @settings(max_examples=150)
+    def test_memoized_tie_break_matches_reference(self, candidates):
+        # The memoized consensus scoring (pairwise distance cache +
+        # first-occurrence map) must pick the same winner as the
+        # original repeated-scan implementation on any multiset.
+        counts = Counter(candidates)
+        best_count = max(counts.values())
+        tied = [v for v, c in counts.items() if c == best_count]
+        got = Aggregator()._break_ties(tied, candidates)
+        assert got == _reference_break_ties(tied, candidates)
 
     @given(st.lists(st.sampled_from(["a", "b", "c", ""]), min_size=1, max_size=12))
     @settings(max_examples=100)
