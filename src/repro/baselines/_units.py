@@ -12,8 +12,8 @@ are outside this language.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 _SPLIT_DELIMITERS = " -_./,:;@()"
 # Backtracking search over unit sequences is exponential in sequence

@@ -14,7 +14,7 @@ they do not (Syn-RV).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.baselines.base import JoinOutput
 from repro.text.similarity import (

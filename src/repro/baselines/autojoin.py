@@ -9,7 +9,7 @@ transformation, so tables that need several conditional rules defeat it
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.baselines._units import (
     UnitTransformation,

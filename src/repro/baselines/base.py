@@ -8,8 +8,9 @@ for AED/ANED scoring (only generative methods produce those).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 from repro.types import ExamplePair
 
@@ -22,10 +23,15 @@ class JoinOutput:
         matches: One entry per source row: the matched target value, or
             ``None`` when the method left the row unmatched.
         predictions: Predicted target strings (generative methods only).
+        stats: Optional execution counters for the run — e.g. the DTT
+            pipeline reports its generation-engine scheduling stats
+            under ``"engine"`` and its join-engine batch/parallel/cache
+            stats under ``"join"``.  Baselines may leave this ``None``.
     """
 
     matches: tuple[str | None, ...]
     predictions: tuple[str, ...] | None = None
+    stats: dict | None = None
 
 
 @runtime_checkable

@@ -13,7 +13,7 @@ behind CST's high-precision / lower-recall profile in Table 1 and its
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.baselines._units import (
     UnitTransformation,

@@ -12,7 +12,7 @@ edge over DTT (§5.5).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.baselines.base import JoinOutput
 from repro.kb import KnowledgeBase, build_default_kb

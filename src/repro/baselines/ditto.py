@@ -15,7 +15,7 @@ false positives.
 from __future__ import annotations
 
 import re
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -72,7 +72,7 @@ def match_features(source: str, target: str) -> np.ndarray:
     source_low, target_low = source.lower(), target.lower()
     max_len = max(len(source), len(target), 1)
     prefix = 0
-    for ch_a, ch_b in zip(source_low, target_low):
+    for ch_a, ch_b in zip(source_low, target_low, strict=False):
         if ch_a != ch_b:
             break
         prefix += 1

@@ -16,7 +16,8 @@ candidate.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.interface import SequenceModel
 from repro.text.edit_distance import normalized_edit_distance
@@ -149,4 +150,4 @@ class MultiModelAggregator:
         per_model = self.engine.run(
             [(model, prompts) for model in self.models]
         )
-        return [list(outputs) for outputs in zip(*per_model)]
+        return [list(outputs) for outputs in zip(*per_model, strict=True)]

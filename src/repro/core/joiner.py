@@ -167,6 +167,6 @@ class EditDistanceJoiner:
                 distance=distance,
             )
             for i, (prediction, (matched, distance)) in enumerate(
-                zip(predictions, matches)
+                zip(predictions, matches, strict=True)
             )
         ]

@@ -11,7 +11,8 @@ cases:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.aggregator import Aggregator, MultiModelAggregator
 from repro.core.interface import SequenceModel
@@ -44,6 +45,11 @@ class DTTPipeline:
             share q-gram indexes through the process-level
             :class:`~repro.index.cache.IndexCache`, so repeated
             pipelines over the same target column never rebuild.
+        n_workers: Worker processes for the join stage (strategy-name
+            joiners only; a joiner instance carries its own setting).
+            ``None`` auto-parallelizes large batches across
+            ``os.cpu_count()`` workers and stays serial below the
+            threshold; results are byte-identical either way.
         engine: Generation engine scheduling the prediction stage; all
             prompts of all trials are handed to it in one call, where
             incremental models (the trained byte-level transformer) get
@@ -61,6 +67,7 @@ class DTTPipeline:
         seed: int = 0,
         joiner: EditDistanceJoiner | str | None = None,
         engine: GenerationEngine | None = None,
+        n_workers: int | None = None,
     ) -> None:
         models = [model] if isinstance(model, SequenceModel) else list(model)
         if not models:
@@ -76,7 +83,9 @@ class DTTPipeline:
             # so a module-level import here would be circular.
             from repro.index import make_joiner
 
-            self.joiner = make_joiner("auto" if joiner is None else joiner)
+            self.joiner = make_joiner(
+                "auto" if joiner is None else joiner, n_workers=n_workers
+            )
         else:
             self.joiner = joiner
         self.stopwatch = Stopwatch()
@@ -121,7 +130,7 @@ class DTTPipeline:
             candidate_lists = self._ensemble.generate_candidates(prompts)
         with self.stopwatch.lap("aggregate"):
             per_row: dict[int, list[str]] = {i: [] for i in range(len(sources))}
-            for task, candidates in zip(subtasks, candidate_lists):
+            for task, candidates in zip(subtasks, candidate_lists, strict=True):
                 per_row[task.row_index].extend(candidates)
             predictions = [
                 self.aggregator.aggregate(sources[i], per_row[i])

@@ -7,7 +7,7 @@ mode — while the test rows stay clean.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.datagen.random_text import RandomTextSampler
 from repro.types import ExamplePair

@@ -7,7 +7,7 @@ match the paper's dataset statistics.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.datagen.benchmarks.kbwt import build_kbwt
 from repro.datagen.benchmarks.spreadsheet import build_spreadsheet

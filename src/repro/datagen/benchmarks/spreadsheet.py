@@ -9,7 +9,7 @@ with randomized parameters.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

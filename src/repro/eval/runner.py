@@ -9,7 +9,8 @@ of §5.4 are computed per table, then averaged per dataset.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from collections.abc import Sequence
+from dataclasses import asdict
 
 from repro.baselines.base import JoinOutput, TableJoiner
 from repro.core.interface import SequenceModel
@@ -33,6 +34,9 @@ class DTTJoinerAdapter:
         name: Report name; defaults to the pipeline's.
         joiner: Joiner instance or strategy name (``"brute"`` /
             ``"indexed"`` / ``"auto"``), forwarded to the pipeline.
+        n_workers: Join-stage worker processes, forwarded to the
+            pipeline (``None`` auto-parallelizes large target batches
+            and stays serial below the threshold).
     """
 
     def __init__(
@@ -43,6 +47,7 @@ class DTTJoinerAdapter:
         seed: int = 0,
         name: str | None = None,
         joiner: EditDistanceJoiner | str | None = None,
+        n_workers: int | None = None,
     ) -> None:
         self.pipeline = DTTPipeline(
             model,
@@ -50,6 +55,7 @@ class DTTJoinerAdapter:
             n_trials=n_trials,
             seed=seed,
             joiner=joiner,
+            n_workers=n_workers,
         )
         self._name = name or self.pipeline.name
 
@@ -65,9 +71,17 @@ class DTTJoinerAdapter:
     ) -> JoinOutput:
         predictions = self.pipeline.transform_column(sources, examples)
         results = self.pipeline.joiner.join(predictions, targets)
+        # Execution counters ride along with the scores: the generation
+        # engine's scheduling stats and the join engine's batch /
+        # parallel-shard / cache stats, both from this table's run.
+        stats: dict = {"engine": asdict(self.pipeline.engine.last_stats)}
+        join_stats = getattr(self.pipeline.joiner, "last_join_stats", None)
+        if join_stats is not None:
+            stats["join"] = join_stats.as_dict()
         return JoinOutput(
             matches=tuple(r.matched for r in results),
             predictions=tuple(p.value for p in predictions),
+            stats=stats,
         )
 
 
@@ -129,6 +143,7 @@ def evaluate_on_table(
         join=score_join(results),
         edits=edits,
         seconds=elapsed,
+        stats=output.stats,
     )
 
 

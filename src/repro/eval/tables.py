@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.metrics.report import DatasetReport
 
@@ -53,8 +53,8 @@ def render_dataset_table(
     out: list[str] = []
     if title:
         out.append(title)
-    out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    out.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)))
     out.append("  ".join("-" * w for w in widths))
     for line in body:
-        out.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+        out.append("  ".join(c.ljust(w) for c, w in zip(line, widths, strict=True)))
     return "\n".join(out)

@@ -32,21 +32,28 @@ enforced by the equivalence test harness in ``tests/`` — so blocking and
 batching are purely performance choices.
 """
 
-from repro.index.cache import IndexCache, default_index_cache
+from repro.index.cache import (
+    IndexCache,
+    column_fingerprint,
+    default_index_cache,
+)
 from repro.index.joiner import AutoJoiner, IndexedJoiner, make_joiner
 from repro.index.kernel import (
     edit_distance_many,
     edit_distance_pairs,
     encode_strings,
 )
+from repro.index.parallel import JoinStats
 from repro.index.qgram import QGramIndex, adaptive_q
 
 __all__ = [
     "AutoJoiner",
     "IndexCache",
     "IndexedJoiner",
+    "JoinStats",
     "QGramIndex",
     "adaptive_q",
+    "column_fingerprint",
     "default_index_cache",
     "edit_distance_many",
     "edit_distance_pairs",

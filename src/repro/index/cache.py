@@ -24,13 +24,31 @@ the key build is a zero-copy pass-through).  Scalar ``match`` loops pay
 it per probe; the batch API
 (:meth:`~repro.index.joiner.IndexedJoiner.join_many`) pays it once per
 column, which is one of the reasons batching wins.
+
+On top of the in-memory LRU sits an optional **on-disk tier**: with a
+``cache_dir`` (or the ``REPRO_INDEX_CACHE_DIR`` environment variable for
+the process-wide default cache), built indexes are persisted as
+``qgram-<sha256>.npz`` snapshots keyed by :func:`column_fingerprint` —
+a content hash of the column plus gram size — and reloaded by any later
+process that misses in memory.  Writes are atomic (temp file +
+``os.replace``), files carry a format-version stamp, and loads fall
+back to a rebuild on any corruption, so the disk tier can be shared by
+concurrent workers without coordination.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import struct
+import tempfile
 import threading
+import zipfile
 from collections import OrderedDict
 from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
 
 from repro.index.qgram import QGramIndex, adaptive_q
 
@@ -39,6 +57,35 @@ from repro.index.qgram import QGramIndex, adaptive_q
 CacheKey = tuple[int, tuple[str, ...]]
 
 _ADAPTIVE = 0
+
+#: Environment variable naming the on-disk tier's directory for the
+#: process-wide default cache (read lazily, on the first
+#: :func:`default_index_cache` call).
+CACHE_DIR_ENV = "REPRO_INDEX_CACHE_DIR"
+
+#: Bump when the :meth:`QGramIndex.to_state` layout changes; files
+#: stamped with any other version are ignored and rebuilt in place.
+DISK_FORMAT_VERSION = 1
+
+
+def column_fingerprint(targets: Sequence[str], q: int) -> str:
+    """Content fingerprint of a target column at a given gram size.
+
+    SHA-256 over the gram size, the row count, and every value as a
+    length-prefixed UTF-8 blob (``surrogatepass``, so lone surrogates
+    hash too).  Length prefixes make the encoding injective — no two
+    distinct columns produce the same byte stream — so same-length
+    in-place cell edits, row reorders, and boundary shifts between
+    adjacent values all change the fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro.qgram.index")
+    digest.update(struct.pack("<qq", q, len(targets)))
+    for value in targets:
+        blob = value.encode("utf-8", "surrogatepass")
+        digest.update(struct.pack("<q", len(blob)))
+        digest.update(blob)
+    return digest.hexdigest()
 
 
 class IndexCache:
@@ -52,26 +99,48 @@ class IndexCache:
     index twice, with one build winning the slot (both results are
     equivalent, so this is benign).
 
+    An optional **on-disk tier** (``cache_dir``) persists indexes as
+    content-fingerprint-keyed ``.npz`` files so they survive across
+    processes — parallel join workers, repeated CLI invocations,
+    successive ``eval/runner.py`` runs.  A memory miss first tries the
+    disk file for the column's fingerprint; a disk miss builds the index
+    and writes it back (atomic ``os.replace`` of a same-directory temp
+    file, so concurrent readers never observe a torn write).  Disk loads
+    are corruption-tolerant: a truncated, garbled, or version-mismatched
+    file is ignored (and overwritten by the rebuild), never trusted.
+
     Args:
         capacity: Maximum number of cached indexes.
         max_bytes: Maximum total :attr:`QGramIndex.nbytes` across
             entries; least recently used entries are evicted beyond
             either bound (the most recent entry is always kept).
+        cache_dir: Directory for the on-disk tier; ``None`` (the
+            default) keeps the cache memory-only.  The process-wide
+            default cache reads the ``REPRO_INDEX_CACHE_DIR``
+            environment variable instead.
     """
 
-    def __init__(self, capacity: int = 8, max_bytes: int = 1 << 29) -> None:
+    def __init__(
+        self,
+        capacity: int = 8,
+        max_bytes: int = 1 << 29,
+        cache_dir: str | os.PathLike[str] | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.capacity = capacity
         self.max_bytes = max_bytes
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._entries: OrderedDict[CacheKey, QGramIndex] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
 
     def __len__(self) -> int:
         """Number of cached indexes."""
@@ -105,7 +174,20 @@ class IndexCache:
                 return index
             self.misses += 1
         resolved_q = adaptive_q(targets) if q is None else q
-        index = QGramIndex(key[1], q=resolved_q)
+        index = None
+        path = None
+        if self.cache_dir is not None:
+            path = self.disk_path(key[1], resolved_q)
+            index = self._load_disk(path)
+            with self._lock:
+                if index is not None:
+                    self.disk_hits += 1
+                else:
+                    self.disk_misses += 1
+        if index is None:
+            index = QGramIndex(key[1], q=resolved_q)
+            if path is not None:
+                self._save_disk(path, index)
         with self._lock:
             if key not in self._entries:
                 self._entries[key] = index
@@ -120,16 +202,91 @@ class IndexCache:
                 self.evictions += 1
         return index
 
+    def disk_path(self, targets: Sequence[str], q: int) -> Path:
+        """On-disk file for a column at a resolved gram size.
+
+        The fingerprint covers the gram size, so adaptive and explicit
+        lookups that resolve to the same ``q`` share one file.
+        """
+        if self.cache_dir is None:
+            raise ValueError("cache has no on-disk tier (cache_dir is None)")
+        return self.cache_dir / f"qgram-{column_fingerprint(targets, q)}.npz"
+
+    def _load_disk(self, path: Path) -> QGramIndex | None:
+        """Load an index snapshot, or ``None`` when absent or unusable.
+
+        Treats *every* failure mode — missing file, truncated zip,
+        mangled member arrays, a stamp from another format version,
+        state that fails :meth:`QGramIndex.from_state` validation — as
+        a plain miss: the caller rebuilds from the column and the
+        rewrite replaces the bad file.  A cache must never be able to
+        make a join fail.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["version"]) != DISK_FORMAT_VERSION:
+                    return None
+                state = {name: data[name] for name in data.files}
+            return QGramIndex.from_state(state)
+        except FileNotFoundError:
+            return None
+        except (OSError, KeyError, ValueError, IndexError, zipfile.BadZipFile):
+            return None
+
+    def _save_disk(self, path: Path, index: QGramIndex) -> None:
+        """Atomically persist an index snapshot; failures are non-fatal.
+
+        Writes to a temp file in the target directory and ``os.replace``s
+        it into place, so a concurrent reader sees either the old file or
+        the complete new one — never a partial write.
+        """
+        state = index.to_state()
+        state["version"] = np.int64(DISK_FORMAT_VERSION)
+        tmp_path = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=path.parent, prefix=".qgram-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **state)
+            os.replace(tmp_path, path)
+            tmp_path = None
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+
     def clear(self) -> None:
-        """Drop every cached index (counters are kept)."""
+        """Drop every cached index (counters are kept).
+
+        Only the in-memory tier is dropped; on-disk files persist (they
+        are the cross-process tier — remove ``cache_dir`` contents to
+        invalidate them).
+        """
         with self._lock:
             self._entries.clear()
             self._bytes = 0
 
 
-_DEFAULT_CACHE = IndexCache()
+_DEFAULT_CACHE: IndexCache | None = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_index_cache() -> IndexCache:
-    """The process-wide cache shared by joiners that were given none."""
-    return _DEFAULT_CACHE
+    """The process-wide cache shared by joiners that were given none.
+
+    Created lazily so the ``REPRO_INDEX_CACHE_DIR`` environment variable
+    is read at first use, not at import: when set, the default cache
+    gains an on-disk tier rooted there and q-gram indexes survive across
+    processes and runner invocations.
+    """
+    global _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = IndexCache(
+                cache_dir=os.environ.get(CACHE_DIR_ENV) or None
+            )
+        return _DEFAULT_CACHE

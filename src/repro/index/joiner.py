@@ -17,11 +17,19 @@ Two batch layers amortize that work across a whole source column:
   resolves exact matches with one dictionary lookup each, buckets the
   remaining probes by length, and runs candidate generation and the
   pair DP kernel per bucket — one kernel sweep per (bucket, cap) round
-  instead of one per probe.
+  instead of one per probe.  Cap deepening **reuses scores**: the cap-1
+  round scores its candidates with a cap-2 kernel, so the cap-2 round
+  scores only the candidates the wider filters newly admit.
 * A process-level :class:`~repro.index.cache.IndexCache` shares one
   index per target-column *content* (entries are keyed on the column
   values themselves, so stale or aliased indexes are impossible)
-  across joiners, pipelines, and eval runs.
+  across joiners, pipelines, and eval runs — optionally backed by an
+  on-disk tier shared across processes.
+
+Above a workload threshold (or at an explicit ``n_workers``),
+``join_many`` shards its buckets across a process pool
+(:mod:`repro.index.parallel`) with a deterministic merge; results are
+byte-identical to the serial engine in every configuration.
 
 :class:`AutoJoiner` picks the brute scan for small target columns (where
 index construction dominates) and the blocked engine above a row-count
@@ -30,7 +38,9 @@ threshold.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,6 +49,9 @@ from repro.exceptions import JoinError
 from repro.index.cache import IndexCache, default_index_cache
 from repro.index.kernel import edit_distance_codes, edit_distance_pairs, encode_strings
 from repro.index.qgram import QGramIndex
+
+if TYPE_CHECKING:
+    from repro.index.parallel import JoinStats
 
 
 class IndexedJoiner(EditDistanceJoiner):
@@ -57,7 +70,28 @@ class IndexedJoiner(EditDistanceJoiner):
             (:func:`~repro.index.qgram.adaptive_q`).
         cache: Index cache to use; ``None`` means the process-wide
             shared cache (:func:`~repro.index.cache.default_index_cache`).
+        n_workers: Worker processes for :meth:`join_many`.  ``None``
+            (the default) auto-picks ``os.cpu_count()`` (capped) when a
+            batch has at least ``parallel_threshold`` unresolved probes
+            and runs serially below; ``1`` forces serial; an explicit
+            ``>= 2`` always shards across that many workers.  Results
+            are byte-identical in every configuration.
+        parallel_threshold: Minimum number of unresolved (non-exact,
+            deduplicated) probes in a batch before the ``None`` auto
+            mode engages the worker pool.
+
+    Attributes:
+        last_join_stats: :class:`~repro.index.parallel.JoinStats` for
+            the most recent :meth:`join_many` call (``None`` before the
+            first call).
     """
+
+    DEFAULT_PARALLEL_THRESHOLD = 4096
+    # Auto mode never spawns more workers than this, however many cores
+    # the host reports: shard planning targets a few shards per worker,
+    # and past ~8 workers pool startup and result pickling outweigh the
+    # extra parallelism for column-scale batches.
+    _MAX_AUTO_WORKERS = 8
 
     # Cells (distance-row entries) per pair-DP chunk: sized so the
     # sweep's working set stays cache-resident (int32 rows, a few
@@ -78,52 +112,53 @@ class IndexedJoiner(EditDistanceJoiner):
         normalized_threshold: float | None = None,
         q: int | None = None,
         cache: IndexCache | None = None,
+        n_workers: int | None = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     ) -> None:
         super().__init__(
             max_distance=max_distance, normalized_threshold=normalized_threshold
         )
         if q is not None and q <= 0:
             raise ValueError(f"q must be positive, got {q}")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if parallel_threshold < 0:
+            raise ValueError(
+                f"parallel_threshold must be >= 0, got {parallel_threshold}"
+            )
         self.q = q
         self.cache = cache if cache is not None else default_index_cache()
+        self.n_workers = n_workers
+        self.parallel_threshold = parallel_threshold
+        self.last_join_stats: JoinStats | None = None
 
     def _index_for(self, targets: Sequence[str]) -> QGramIndex:
         return self.cache.get(targets, q=self.q)
+
+    def _resolve_workers(self, pending: int) -> int:
+        """Worker count for a batch with ``pending`` unresolved probes."""
+        if self.n_workers is not None:
+            return self.n_workers if pending else 1
+        if pending >= self.parallel_threshold:
+            return max(1, min(os.cpu_count() or 1, self._MAX_AUTO_WORKERS))
+        return 1
 
     def _argmin(self, predicted: str, targets: Sequence[str]) -> tuple[str, int]:
         """Earliest-row argmin via the blocked index (same contract as brute).
 
         Guards and threshold rejection stay in the shared
         :meth:`EditDistanceJoiner.match` / ``_apply_thresholds``; only
-        the argmin strategy differs.
+        the argmin strategy differs.  A scalar match is simply a
+        single-probe bucket, so it shares the batch engine's whole
+        ladder — including score reuse and the upper-bound waves.
         """
         index = self._index_for(targets)
         if index.value_id(predicted) is not None:
             return predicted, 0
-        # Any target is within max(len(predicted), longest target), and
-        # at that cap both filters are vacuous, so the loop terminates
-        # with the full column as candidates at the latest.
-        max_cap = max(len(predicted), index.max_length)
-        cap = 1
-        while cap <= max_cap:
-            vids = index.candidates(predicted, cap)
-            if vids.size:
-                batch_codes, batch_lengths = index.batch_codes(vids)
-                distances = edit_distance_codes(
-                    predicted, batch_codes, batch_lengths, cap
-                )
-                best = int(distances.min())
-                if best <= cap:
-                    tied = vids[distances == best]
-                    winner = tied[np.argmin(index.first_rows[tied])]
-                    return index.values[winner], best
-            if cap == max_cap:
-                break
-            cap = min(cap * 2, max_cap)
-        raise RuntimeError(
-            "q-gram blocking produced no match at a vacuous cap; "
-            "the completeness invariant is broken"
-        )
+        vid, best = self._argmin_bucket(index, len(predicted), [predicted])[
+            predicted
+        ]
+        return index.values[vid], best
 
     def join_many(
         self, probes: Sequence[str], targets: Sequence[str]
@@ -136,12 +171,25 @@ class IndexedJoiner(EditDistanceJoiner):
         hash and index lookup happen once, identical probes are
         resolved once, exact matches cost one dictionary lookup, and
         the remaining probes run through bucketed candidate generation
-        plus the pair DP kernel.
+        plus the pair DP kernel.  Above the parallel threshold (or at
+        an explicit ``n_workers``) the buckets are sharded across a
+        process pool with a deterministic merge; per-probe results do
+        not depend on which other probes share a shard, so the sharded
+        output is byte-identical too.  Counters for the call land in
+        :attr:`last_join_stats`.
         """
         if not probes:
             return []
         if not targets:
             raise JoinError("cannot join into an empty target column")
+        # Imported lazily: parallel imports this module for its
+        # worker-side scoring, so a module-level import would cycle.
+        from repro.index.parallel import JoinStats, parallel_argmin_buckets
+
+        cache_hits = self.cache.hits
+        cache_misses = self.cache.misses
+        disk_hits = self.cache.disk_hits
+        disk_misses = self.cache.disk_misses
         # Dedupe: every occurrence of a probe value gets the one result.
         positions: dict[str, list[int]] = {}
         for i, probe in enumerate(probes):
@@ -149,19 +197,55 @@ class IndexedJoiner(EditDistanceJoiner):
         index = self._index_for(targets)
         resolved: dict[str, tuple[str | None, int]] = {}
         buckets: dict[int, list[str]] = {}
+        exact_matches = 0
+        empty_probes = 0
         for probe in positions:
             if probe == "":
                 # Abstention (footnote 2): no match, before thresholds.
                 resolved[probe] = (None, 0)
+                empty_probes += 1
             elif index.value_id(probe) is not None:
                 resolved[probe] = self._apply_thresholds(probe, 0)
+                exact_matches += 1
             else:
                 buckets.setdefault(len(probe), []).append(probe)
-        for length, bucket in buckets.items():
-            for probe, (value, distance) in self._argmin_bucket(
-                index, length, bucket
-            ).items():
-                resolved[probe] = self._apply_thresholds(value, distance)
+        pending = sum(len(bucket) for bucket in buckets.values())
+        n_workers = self._resolve_workers(pending)
+        if n_workers > 1 and pending:
+            argmins, pool_stats = parallel_argmin_buckets(
+                self, index, buckets, n_workers, targets
+            )
+            n_workers = pool_stats.workers
+            shards = pool_stats.shards
+            shard_sizes = pool_stats.shard_sizes
+            worker_disk_hits = pool_stats.disk_hits
+            worker_disk_misses = pool_stats.disk_misses
+        else:
+            n_workers = 1
+            shards = 0
+            shard_sizes = ()
+            worker_disk_hits = 0
+            worker_disk_misses = 0
+            argmins = {}
+            for length, bucket in buckets.items():
+                argmins.update(self._argmin_bucket(index, length, bucket))
+        for probe, (vid, distance) in argmins.items():
+            resolved[probe] = self._apply_thresholds(index.values[vid], distance)
+        self.last_join_stats = JoinStats(
+            probes=len(probes),
+            unique_probes=len(positions),
+            exact_matches=exact_matches,
+            empty_probes=empty_probes,
+            pending=pending,
+            buckets=len(buckets),
+            n_workers=n_workers,
+            shards=shards,
+            shard_sizes=tuple(shard_sizes),
+            cache_hits=self.cache.hits - cache_hits,
+            cache_misses=self.cache.misses - cache_misses,
+            disk_hits=self.cache.disk_hits - disk_hits + worker_disk_hits,
+            disk_misses=self.cache.disk_misses - disk_misses + worker_disk_misses,
+        )
         results: list[tuple[str | None, int]] = [(None, 0)] * len(probes)
         for probe, rows in positions.items():
             result = resolved[probe]
@@ -171,14 +255,25 @@ class IndexedJoiner(EditDistanceJoiner):
 
     def _argmin_bucket(
         self, index: QGramIndex, length: int, probes: list[str]
-    ) -> dict[str, tuple[str, int]]:
+    ) -> dict[str, tuple[int, int]]:
         """Blocked argmin for a bucket of same-length probes.
+
+        Returns ``probe -> (winner_value_id, distance)``; value ids
+        keep the hot path (and the parallel workers' result payloads)
+        in integer space — callers map ids back to strings through the
+        index.  Each probe's result depends only on ``(index, length,
+        probe)``, never on which other probes share the bucket, which
+        is what makes both probe deduplication and parallel sharding
+        byte-identical to the serial scan.
 
         Two cheap rounds at caps 1 and 2 resolve the near probes — the
         common case for model predictions — on small count-filtered
-        candidate blocks.  Every probe still unresolved then gets an
-        **upper bound** (the exact distance to its max-gram-overlap
-        targets) and finishes in two waves, no cap ladder needed:
+        candidate blocks, scoring each candidate **once** across the
+        ladder (the cap-1 round already scores with the cap-2 kernel,
+        so the cap-2 round only scores newly admitted candidates).
+        Every probe still unresolved then gets an **upper bound** (the
+        exact distance to its max-gram-overlap targets) and finishes in
+        two waves, no cap ladder needed:
 
         * **Wave 1** scores only the near-length candidates
           (``|len - length| <= 2``) at the bound.  The argmin almost
@@ -196,15 +291,8 @@ class IndexedJoiner(EditDistanceJoiner):
         pruning: far/garbage probes scan the wide part of the column
         exactly once, against the tightest bound known.
         """
-        resolved: dict[str, tuple[str, int]] = {}
-        max_cap = max(length, index.max_length)
-        pending = probes
-        for cap in (1, 2):
-            if not pending:
-                return resolved
-            if cap > max_cap:
-                break
-            pending = self._score_round(index, length, pending, cap, resolved)
+        resolved: dict[str, tuple[int, int]] = {}
+        pending = self._ladder_rounds(index, length, probes, resolved)
         if not pending:
             return resolved
         probe_codes, _ = encode_strings(pending)
@@ -251,56 +339,96 @@ class IndexedJoiner(EditDistanceJoiner):
                     [tied for tied_best, tied in waves if tied_best == best]
                 )
                 winner = tied[np.argmin(index.first_rows[tied])]
-                resolved[probe] = (index.values[int(winner)], best)
+                resolved[probe] = (int(winner), best)
         return resolved
 
-    def _score_round(
+    def _ladder_rounds(
         self,
         index: QGramIndex,
         length: int,
-        pending: list[str],
-        cap: int,
-        resolved: dict[str, tuple[str, int]],
+        probes: list[str],
+        resolved: dict[str, tuple[int, int]],
     ) -> list[str]:
-        """Score one candidate-generation round for a probe sub-bucket.
+        """Caps-1-and-2 rounds with score reuse across the deepening.
 
-        Generates candidates at ``cap`` for every probe (length filter
-        evaluated once), scores all (probe, candidate) pairs with the
-        lockstep pair DP in bounded groups, and resolves any probe
-        whose round minimum is within the cap — by candidate
-        completeness that minimum is the probe's global argmin, ties
-        included.  Returns the probes left unresolved.
+        The cap-1 candidates are scored once with a **cap-2 kernel**
+        (the lookahead costs a little settlement slack but yields exact
+        distances up to 2), so when a probe survives to the cap-2
+        round, only the candidates the wider filters *newly* admit are
+        scored — the previous round's candidates are never re-scored.
+        Resolution stays byte-identical to independent rounds: a
+        distance within cap 1 is the same number under either kernel
+        cap, candidate sets are monotone in the cap, and reused scores
+        clamped at 3 (beyond the lookahead) can never win a cap-2
+        round.  Resolves probes into ``resolved`` (as
+        ``(winner_value_id, distance)``) and returns the survivors.
         """
-        probe_codes, _ = encode_strings(pending)
-        cand_lists = index.candidates_bucket(pending, length, cap)
-        scores = self._wave_scores(index, probe_codes, cand_lists, cap)
+        max_cap = max(length, index.max_length)
+        lookahead = min(2, max_cap)
+        probe_codes, _ = encode_strings(probes)
+        cand_lists = index.candidates_bucket(probes, length, min(1, max_cap))
+        dist_lists = self._scored_lists(index, probe_codes, cand_lists, lookahead)
+        survivors: list[int] = []
+        for j, probe in enumerate(probes):
+            segment = dist_lists[j]
+            if segment.size:
+                best = int(segment.min())
+                if best <= 1:
+                    tied = cand_lists[j][segment == best]
+                    winner = tied[np.argmin(index.first_rows[tied])]
+                    resolved[probe] = (int(winner), best)
+                    continue
+            survivors.append(j)
+        if not survivors or max_cap < 2:
+            return [probes[j] for j in survivors]
+        rem = [probes[j] for j in survivors]
+        wide_lists = index.candidates_bucket(rem, length, 2)
+        # Newly admitted candidates only: both arrays are ascending, so
+        # a searchsorted membership test keeps the set difference O(n).
+        fresh_lists: list[np.ndarray] = []
+        for j, wide in zip(survivors, wide_lists, strict=True):
+            narrow = cand_lists[j]
+            if not narrow.size:
+                fresh_lists.append(wide)
+                continue
+            slot = np.searchsorted(narrow, wide)
+            slot[slot == narrow.size] = narrow.size - 1
+            fresh_lists.append(wide[narrow[slot] != wide])
+        fresh_dists = self._scored_lists(
+            index, probe_codes[survivors], fresh_lists, lookahead
+        )
         still: list[str] = []
-        for probe, (best, tied) in zip(pending, scores, strict=True):
-            if best > cap:
+        for j, probe, fresh, fresh_d in zip(
+            survivors, rem, fresh_lists, fresh_dists, strict=True
+        ):
+            vids = np.concatenate((cand_lists[j], fresh))
+            dists = np.concatenate((dist_lists[j], fresh_d))
+            if not vids.size:
                 still.append(probe)
                 continue
+            best = int(dists.min())
+            if best > 2:
+                still.append(probe)
+                continue
+            tied = vids[dists == best]
             winner = tied[np.argmin(index.first_rows[tied])]
-            resolved[probe] = (index.values[int(winner)], best)
+            resolved[probe] = (int(winner), best)
         return still
 
-    def _wave_scores(
+    def _scored_lists(
         self,
         index: QGramIndex,
         probe_codes: np.ndarray,
         cand_lists: list[np.ndarray],
         cap: int,
-    ) -> list[tuple[int, np.ndarray]]:
-        """``(best, tied_value_ids)`` per probe over given candidates.
+    ) -> list[np.ndarray]:
+        """Capped distances per probe over its candidate list.
 
         Scores all (probe, candidate) pairs with the lockstep pair DP
-        in bounded groups.  ``best`` is ``cap + 1`` (with an empty tie
-        array) when no candidate scores within the cap; otherwise the
-        ties are every candidate at exactly ``best``.
+        in bounded groups; entry ``i`` aligns with ``cand_lists[i]``
+        (distances above ``cap`` clamp to ``cap + 1``).
         """
-        empty = np.empty(0, dtype=np.int64)
-        results: list[tuple[int, np.ndarray]] = [(cap + 1, empty)] * len(
-            cand_lists
-        )
+        out: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(cand_lists)
         for start, stop in self._probe_groups(cand_lists):
             group_lists = cand_lists[start:stop]
             sizes = np.fromiter(
@@ -318,12 +446,33 @@ class IndexedJoiner(EditDistanceJoiner):
             offsets = np.concatenate(([0], np.cumsum(sizes)))
             for j in range(start, stop):
                 lo, hi = int(offsets[j - start]), int(offsets[j - start + 1])
-                if lo == hi:
-                    continue
-                segment = distances[lo:hi]
-                best = int(segment.min())
-                if best <= cap:
-                    results[j] = (best, vids[lo:hi][segment == best])
+                if lo != hi:
+                    out[j] = distances[lo:hi]
+        return out
+
+    def _wave_scores(
+        self,
+        index: QGramIndex,
+        probe_codes: np.ndarray,
+        cand_lists: list[np.ndarray],
+        cap: int,
+    ) -> list[tuple[int, np.ndarray]]:
+        """``(best, tied_value_ids)`` per probe over given candidates.
+
+        Scores all (probe, candidate) pairs with the lockstep pair DP
+        in bounded groups.  ``best`` is ``cap + 1`` (with an empty tie
+        array) when no candidate scores within the cap; otherwise the
+        ties are every candidate at exactly ``best``.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        results: list[tuple[int, np.ndarray]] = []
+        dist_lists = self._scored_lists(index, probe_codes, cand_lists, cap)
+        for cands, segment in zip(cand_lists, dist_lists, strict=True):
+            best = int(segment.min()) if segment.size else cap + 1
+            if best <= cap:
+                results.append((best, cands[segment == best]))
+            else:
+                results.append((cap + 1, empty))
         return results
 
     def _upper_bounds(
@@ -458,6 +607,10 @@ class AutoJoiner(EditDistanceJoiner):
         q: Gram size for the blocked delegate (``None`` = adaptive).
         cache: Index cache for the blocked delegate (``None`` = the
             process-wide shared cache).
+        n_workers: Worker-pool setting for the blocked delegate's
+            ``join_many`` (see :class:`IndexedJoiner`).
+        parallel_threshold: Auto-parallel threshold for the blocked
+            delegate (see :class:`IndexedJoiner`).
     """
 
     DEFAULT_THRESHOLD = 256
@@ -469,6 +622,8 @@ class AutoJoiner(EditDistanceJoiner):
         normalized_threshold: float | None = None,
         q: int | None = None,
         cache: IndexCache | None = None,
+        n_workers: int | None = None,
+        parallel_threshold: int = IndexedJoiner.DEFAULT_PARALLEL_THRESHOLD,
     ) -> None:
         super().__init__(
             max_distance=max_distance, normalized_threshold=normalized_threshold
@@ -476,6 +631,7 @@ class AutoJoiner(EditDistanceJoiner):
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
         self.threshold = threshold
+        self.last_join_stats: JoinStats | None = None
         self._brute = EditDistanceJoiner(
             max_distance=max_distance, normalized_threshold=normalized_threshold
         )
@@ -484,6 +640,8 @@ class AutoJoiner(EditDistanceJoiner):
             normalized_threshold=normalized_threshold,
             q=q,
             cache=cache,
+            n_workers=n_workers,
+            parallel_threshold=parallel_threshold,
         )
 
     def _delegate(self, targets: Sequence[str]) -> EditDistanceJoiner:
@@ -503,7 +661,12 @@ class AutoJoiner(EditDistanceJoiner):
     def join_many(
         self, probes: Sequence[str], targets: Sequence[str]
     ) -> list[tuple[str | None, int]]:
-        return self._delegate(targets).join_many(probes, targets)
+        delegate = self._delegate(targets)
+        results = delegate.join_many(probes, targets)
+        # Surface the blocked delegate's batch counters (the brute scan
+        # keeps none) so eval reports see stats wherever they exist.
+        self.last_join_stats = getattr(delegate, "last_join_stats", None)
+        return results
 
     def match_many(
         self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
@@ -519,6 +682,8 @@ def make_joiner(
     q: int | None = None,
     auto_threshold: int = AutoJoiner.DEFAULT_THRESHOLD,
     cache: IndexCache | None = None,
+    n_workers: int | None = None,
+    parallel_threshold: int = IndexedJoiner.DEFAULT_PARALLEL_THRESHOLD,
 ) -> EditDistanceJoiner:
     """Build a join strategy by name.
 
@@ -532,6 +697,11 @@ def make_joiner(
         auto_threshold: Row-count switch point for ``"auto"``.
         cache: Index cache for the blocked strategies (``None`` = the
             process-wide shared cache).
+        n_workers: Worker-pool setting for the blocked strategies'
+            ``join_many`` (``None`` = auto on batch size; ignored by
+            ``"brute"``).
+        parallel_threshold: Auto-parallel threshold for the blocked
+            strategies (see :class:`IndexedJoiner`).
     """
     if strategy == "brute":
         return EditDistanceJoiner(
@@ -543,6 +713,8 @@ def make_joiner(
             normalized_threshold=normalized_threshold,
             q=q,
             cache=cache,
+            n_workers=n_workers,
+            parallel_threshold=parallel_threshold,
         )
     if strategy == "auto":
         return AutoJoiner(
@@ -551,6 +723,8 @@ def make_joiner(
             normalized_threshold=normalized_threshold,
             q=q,
             cache=cache,
+            n_workers=n_workers,
+            parallel_threshold=parallel_threshold,
         )
     raise ValueError(
         f"unknown join strategy {strategy!r}; expected 'brute', 'indexed', or 'auto'"

@@ -1,0 +1,295 @@
+"""Parallel sharded execution for the batched join.
+
+:func:`parallel_argmin_buckets` fans the length buckets of one
+:meth:`~repro.index.joiner.IndexedJoiner.join_many` call out across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges the results
+deterministically.  The contract is the engine-wide one: **byte-identical
+results to the serial scan**, which the sharding preserves by
+construction —
+
+* a bucket probe's argmin depends only on ``(index, length, probe)``,
+  never on which other probes share the bucket, so buckets can split
+  anywhere;
+* every worker scores against an equal-content index (loaded from the
+  on-disk cache tier, inherited through ``fork``, or rebuilt from the
+  shipped column — all three construct the identical structure); and
+* the merge keys results by probe value, so completion order is
+  irrelevant.
+
+Shards are planned by **candidate mass**, not probe count: a bucket's
+per-probe cost scales with how many targets sit within the near-length
+window, so a skewed workload (thousands of probes at the column's modal
+length) is split into more pieces than its probe share alone would
+suggest.  Workers return ``(value_id, distance)`` pairs as reduced
+``int32`` arrays — the parent maps ids back to strings through its own
+index — so result pickling stays cheap even for very wide batches.
+
+Worker startup prefers the ``fork`` start method where the platform
+offers it: the parent's process-level index cache arrives by
+copy-on-write, so workers usually begin scoring without building or
+loading anything.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.index.cache import IndexCache, default_index_cache
+from repro.index.joiner import IndexedJoiner
+from repro.index.qgram import QGramIndex
+
+
+@dataclass(frozen=True)
+class JoinStats:
+    """Counters from one :meth:`IndexedJoiner.join_many` call.
+
+    Attributes:
+        probes: Probe rows requested (duplicates included).
+        unique_probes: Distinct probe values after deduplication.
+        exact_matches: Unique probes resolved by exact-match lookup.
+        empty_probes: Unique probes that were abstentions (``""``).
+        pending: Unique probes that went through bucketed scoring.
+        buckets: Length buckets those probes formed.
+        n_workers: Worker processes the pool actually ran (capped by
+            the shard count; 1 = serial execution).
+        shards: Bucket shards dispatched to the pool (0 when serial).
+        shard_sizes: Probe count of each shard, in dispatch order.
+        cache_hits: In-memory index-cache hits during the call.
+        cache_misses: In-memory index-cache misses during the call.
+        disk_hits: On-disk index-cache hits — the parent's plus those
+            reported by shard-executing workers (fork-started workers
+            inherit the parent's index and pay none; a fresh-start
+            worker that initialized but never drew a shard goes
+            unreported).
+        disk_misses: On-disk index-cache misses, same accounting;
+            zero when no disk tier is configured.
+    """
+
+    probes: int = 0
+    unique_probes: int = 0
+    exact_matches: int = 0
+    empty_probes: int = 0
+    pending: int = 0
+    buckets: int = 0
+    n_workers: int = 1
+    shards: int = 0
+    shard_sizes: tuple[int, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dict form (tuples become lists)."""
+        out = asdict(self)
+        out["shard_sizes"] = list(out["shard_sizes"])
+        return out
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """What the pool run itself can report back to ``join_many``."""
+
+    workers: int
+    shards: int
+    shard_sizes: tuple[int, ...]
+    disk_hits: int
+    disk_misses: int
+
+
+# Target shards per worker: a few pieces of slack per process so one
+# slow shard (a dense region of the column) doesn't leave the rest of
+# the pool idle at the tail of the batch.
+_OVERSPLIT = 4
+
+# Worker-process state, set once per pool by :func:`_init_worker`.
+_WORKER_INDEX: QGramIndex | None = None
+_WORKER_SCORER: IndexedJoiner | None = None
+_WORKER_DISK: tuple[int, int] = (0, 0)
+
+# Under the fork start method the parent's already-built index rides to
+# workers through this module global (copy-on-write, zero pickling and
+# zero rebuilding) instead of initargs; the parent sets it immediately
+# before pool creation and clears it after.  Spawn/forkserver pools
+# ship the column via initargs instead and resolve the index through
+# the cache hierarchy.
+_FORK_INDEX: QGramIndex | None = None
+
+
+def plan_shards(
+    index: QGramIndex, buckets: dict[int, list[str]], n_workers: int
+) -> list[tuple[int, list[str]]]:
+    """Split length buckets into pool shards balanced by candidate mass.
+
+    A probe's scoring cost is dominated by how many targets sit near its
+    length, so each bucket's mass is ``probes x near-window targets``.
+    Buckets whose mass exceeds the per-shard target (total mass spread
+    over ``n_workers x oversplit`` shards) are split into probe chunks;
+    small buckets ship whole.  The plan is a pure function of the
+    inputs, so parent and test harnesses can reproduce it exactly.
+    """
+    sorted_lengths = np.sort(index.lengths)
+    window = IndexedJoiner._NEAR_LENGTHS
+    entries: list[tuple[int, list[str], int]] = []
+    total_mass = 0
+    for length, bucket in buckets.items():
+        lo = np.searchsorted(sorted_lengths, length - window, side="left")
+        hi = np.searchsorted(sorted_lengths, length + window, side="right")
+        mass = max(int(hi - lo), 1)
+        entries.append((length, bucket, mass))
+        total_mass += mass * len(bucket)
+    if not entries:
+        return []
+    shard_target = max(1, -(-total_mass // (n_workers * _OVERSPLIT)))
+    shards: list[tuple[int, list[str]]] = []
+    for length, bucket, mass in entries:
+        chunk = max(1, shard_target // mass)
+        for start in range(0, len(bucket), chunk):
+            shards.append((length, bucket[start : start + chunk]))
+    return shards
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Pick a start method: ``fork`` when it is safe, else a fresh start.
+
+    ``fork`` is preferred — cheap startup and the parent's index cache
+    (plus :data:`_FORK_COLUMN`) arrives copy-on-write — but forking a
+    multi-threaded process is a deadlock hazard: any lock held by
+    another thread at fork time (the index cache's own lock included)
+    stays held forever in the child.  With other threads alive, fall
+    back to ``forkserver``/``spawn``, which start workers from a clean
+    interpreter.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+def _init_worker(
+    targets: tuple[str, ...] | None,
+    q: int | None,
+    cache_dir: str | None,
+    use_default_cache: bool,
+) -> None:
+    """Resolve this worker's index once, before any shard arrives.
+
+    ``targets`` is ``None`` under the fork start method — the parent's
+    built index arrives directly through the inherited
+    :data:`_FORK_INDEX` (no pickling, no rebuild, no disk traffic).
+    Fresh-start pools get the pickled column instead and resolve
+    through the cache hierarchy: the on-disk tier under ``cache_dir``,
+    then a rebuild from the column.  All paths produce an equal-content
+    index, so the choice affects startup cost only.
+    """
+    global _WORKER_INDEX, _WORKER_SCORER, _WORKER_DISK
+    if targets is None:
+        assert _FORK_INDEX is not None, "forked worker missing its index"
+        _WORKER_INDEX = _FORK_INDEX
+        _WORKER_SCORER = IndexedJoiner(q=q, n_workers=1)
+        return
+    cache = (
+        default_index_cache()
+        if use_default_cache
+        else IndexCache(cache_dir=cache_dir)
+    )
+    disk_hits, disk_misses = cache.disk_hits, cache.disk_misses
+    _WORKER_INDEX = cache.get(targets, q=q)
+    _WORKER_DISK = (cache.disk_hits - disk_hits, cache.disk_misses - disk_misses)
+    _WORKER_SCORER = IndexedJoiner(q=q, cache=cache, n_workers=1)
+
+
+def _score_shard(
+    shard_id: int, length: int, probes: list[str]
+) -> tuple[int, int, int, int, np.ndarray, np.ndarray]:
+    """Score one shard; ship the results as reduced int32 arrays.
+
+    The payload carries value ids, not matched strings — the parent
+    owns an equal-content index and maps ids back — plus this worker's
+    pid and disk-tier counters so the parent can aggregate per-process
+    cache behaviour without double-counting shards.
+    """
+    assert _WORKER_INDEX is not None and _WORKER_SCORER is not None
+    argmin = _WORKER_SCORER._argmin_bucket(_WORKER_INDEX, length, probes)
+    vids = np.fromiter(
+        (argmin[probe][0] for probe in probes), dtype=np.int32, count=len(probes)
+    )
+    distances = np.fromiter(
+        (argmin[probe][1] for probe in probes), dtype=np.int32, count=len(probes)
+    )
+    return shard_id, os.getpid(), *_WORKER_DISK, vids, distances
+
+
+def parallel_argmin_buckets(
+    joiner: IndexedJoiner,
+    index: QGramIndex,
+    buckets: dict[int, list[str]],
+    n_workers: int,
+    targets: Sequence[str],
+) -> tuple[dict[str, tuple[int, int]], PoolStats]:
+    """Run every bucket's argmin through a worker pool.
+
+    Returns the merged ``probe -> (winner_value_id, distance)`` mapping
+    — byte-identical to running
+    :meth:`IndexedJoiner._argmin_bucket` serially per bucket — plus the
+    pool counters for :class:`JoinStats`.
+    """
+    shards = plan_shards(index, buckets, n_workers)
+    if not shards:
+        return {}, PoolStats(0, 0, (), 0, 0)
+    cache = joiner.cache
+    use_default_cache = cache is default_index_cache()
+    cache_dir = str(cache.cache_dir) if cache.cache_dir is not None else None
+    context = _pool_context()
+    pool_workers = min(n_workers, len(shards))
+    if context.get_start_method() == "fork":
+        # Workers fork during the submit loop below and inherit the
+        # parent's built index copy-on-write; ship a sentinel instead
+        # of pickling the column into every worker and rebuilding.
+        global _FORK_INDEX
+        _FORK_INDEX = index
+        shipped_column = None
+    else:
+        shipped_column = tuple(targets)
+    argmins: dict[str, tuple[int, int]] = {}
+    worker_disk: dict[int, tuple[int, int]] = {}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(shipped_column, joiner.q, cache_dir, use_default_cache),
+        ) as pool:
+            futures = [
+                pool.submit(_score_shard, shard_id, length, probes)
+                for shard_id, (length, probes) in enumerate(shards)
+            ]
+            for future in futures:
+                shard_id, pid, disk_hits, disk_misses, vids, distances = (
+                    future.result()
+                )
+                _, probes = shards[shard_id]
+                for probe, vid, distance in zip(
+                    probes, vids.tolist(), distances.tolist(), strict=True
+                ):
+                    argmins[probe] = (vid, distance)
+                worker_disk[pid] = (disk_hits, disk_misses)
+    finally:
+        if shipped_column is None:
+            _FORK_INDEX = None
+    return argmins, PoolStats(
+        workers=pool_workers,
+        shards=len(shards),
+        shard_sizes=tuple(len(probes) for _, probes in shards),
+        disk_hits=sum(hits for hits, _ in worker_disk.values()),
+        disk_misses=sum(misses for _, misses in worker_disk.values()),
+    )

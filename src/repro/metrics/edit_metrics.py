@@ -7,8 +7,8 @@ target length so scores are comparable across datasets.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.text.edit_distance import edit_distance, normalized_edit_distance
 
@@ -37,10 +37,9 @@ def score_edits(predictions: Sequence[str], targets: Sequence[str]) -> EditScore
         )
     if not predictions:
         return EditScores(aed=0.0, aned=0.0, count=0)
-    distances = [edit_distance(p, t) for p, t in zip(predictions, targets)]
-    normalized = [
-        normalized_edit_distance(p, t) for p, t in zip(predictions, targets)
-    ]
+    pairs = list(zip(predictions, targets, strict=True))
+    distances = [edit_distance(p, t) for p, t in pairs]
+    normalized = [normalized_edit_distance(p, t) for p, t in pairs]
     return EditScores(
         aed=sum(distances) / len(distances),
         aned=sum(normalized) / len(normalized),

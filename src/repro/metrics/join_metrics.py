@@ -9,8 +9,8 @@ harmonic mean.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.types import JoinResult
 

@@ -7,8 +7,8 @@ dataset (§5.4).  :class:`TableReport` holds one table's scores;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 from repro.metrics.edit_metrics import EditScores
 from repro.metrics.join_metrics import JoinScores
@@ -25,6 +25,10 @@ class TableReport:
         edits: AED/ANED scores (``None`` for matching-only baselines
             that produce no predicted strings).
         seconds: Wall-clock time spent, for the runtime experiments.
+        stats: Execution counters reported by the method (the DTT
+            pipeline's generation-engine and join-engine stats), or
+            ``None`` for methods that report none.  Excluded from
+            equality so score comparisons ignore scheduling detail.
     """
 
     table: str
@@ -32,6 +36,7 @@ class TableReport:
     join: JoinScores
     edits: EditScores | None = None
     seconds: float = 0.0
+    stats: dict | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

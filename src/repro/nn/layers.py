@@ -67,7 +67,8 @@ class Embedding(Module):
     def backward(self, grad_output: np.ndarray) -> None:
         assert self._ids is not None, "forward must run before backward"
         grad = np.zeros_like(self.table.value)
-        np.add.at(grad, self._ids.reshape(-1), grad_output.reshape(-1, grad_output.shape[-1]))
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        np.add.at(grad, self._ids.reshape(-1), flat_grad)
         self.table.accumulate(grad)
 
 

@@ -38,7 +38,7 @@ class SGD:
         self._velocity = [np.zeros_like(p.value) for p in parameters]
 
     def step(self) -> None:
-        for parameter, velocity in zip(self.parameters, self._velocity):
+        for parameter, velocity in zip(self.parameters, self._velocity, strict=True):
             if self.momentum > 0.0:
                 velocity *= self.momentum
                 velocity += parameter.grad
@@ -75,7 +75,7 @@ class Adam:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
+        for parameter, m, v in zip(self.parameters, self._m, self._v, strict=True):
             m *= self.beta1
             m += (1.0 - self.beta1) * parameter.grad
             v *= self.beta2

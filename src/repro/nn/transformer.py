@@ -329,7 +329,7 @@ class Seq2SeqTransformer(Module):
         y = self.decoder_token_embedding.infer(
             token_ids[:, None]
         ) + self.decoder_position_embedding.infer(positions)
-        for block, block_state in zip(self.decoder_blocks, state.blocks):
+        for block, block_state in zip(self.decoder_blocks, state.blocks, strict=True):
             y = block.step(y, block_state, state.memory_mask)
         state.position += 1
         logits = self.output_proj.infer(self.decoder_norm.infer(y))

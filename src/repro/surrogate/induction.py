@@ -24,9 +24,9 @@ contexts.
 from __future__ import annotations
 
 import re
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence
 
 from repro.surrogate.programs import (
     CharSliceSegment,

@@ -135,7 +135,9 @@ class SliceProgram(Program):
         return apply_case(source[start:end], self.case)
 
     def describe(self) -> str:
-        start = f"-{self.start_offset}" if self.start_from_end else f"{self.start_offset}"
+        start = (
+            f"-{self.start_offset}" if self.start_from_end else f"{self.start_offset}"
+        )
         if self.end_offset is None:
             end = "$"
         else:
@@ -197,7 +199,8 @@ class TokenPieceSegment:
 
     def describe(self) -> str:
         anchor = f"-{self.index + 1}" if self.from_end else f"{self.index}"
-        return f"tok[{anchor}].{self.part}{self.length if self.part != 'full' else ''}({self.case})"
+        length = self.length if self.part != "full" else ""
+        return f"tok[{anchor}].{self.part}{length}({self.case})"
 
     @property
     def generality(self) -> int:

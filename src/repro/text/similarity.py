@@ -89,7 +89,7 @@ def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float
     """Jaro-Winkler similarity, one of AFJ's similarity-function family."""
     jaro = _jaro_similarity(a, b)
     prefix = 0
-    for ch_a, ch_b in zip(a, b):
+    for ch_a, ch_b in zip(a, b, strict=False):
         if ch_a != ch_b or prefix == 4:
             break
         prefix += 1

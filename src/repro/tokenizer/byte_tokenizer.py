@@ -37,7 +37,9 @@ class ByteTokenizer:
         offset = self.vocab.byte_offset
         return [offset + b for b in text.encode("utf-8")]
 
-    def encode(self, prompt: str, add_sos: bool = False, add_eos: bool = False) -> list[int]:
+    def encode(
+        self, prompt: str, add_sos: bool = False, add_eos: bool = False
+    ) -> list[int]:
         """Encode a serialized prompt that may contain special-token markup.
 
         Args:

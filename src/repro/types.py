@@ -14,8 +14,8 @@ source->target example pairs.  These dataclasses capture that vocabulary:
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Sequence
 
 
 @dataclass(frozen=True)
@@ -71,10 +71,12 @@ class TablePair:
 
     def rows(self) -> Iterator[ExamplePair]:
         """Iterate over aligned rows as :class:`ExamplePair` objects."""
-        for src, tgt in zip(self.sources, self.targets):
+        for src, tgt in zip(self.sources, self.targets, strict=True):
             yield ExamplePair(src, tgt)
 
-    def split(self, fraction: float = 0.5) -> tuple[list[ExamplePair], list[ExamplePair]]:
+    def split(
+        self, fraction: float = 0.5
+    ) -> tuple[list[ExamplePair], list[ExamplePair]]:
         """Split rows into an example pool and a test set.
 
         The paper (§5.3) divides each table into two equal halves: ``S_e``
@@ -95,7 +97,7 @@ class TablePair:
 
     def with_rows(
         self, sources: Sequence[str], targets: Sequence[str]
-    ) -> "TablePair":
+    ) -> TablePair:
         """Return a copy of this pair with replaced rows."""
         return replace(self, sources=tuple(sources), targets=tuple(targets))
 

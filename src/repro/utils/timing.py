@@ -26,7 +26,7 @@ class Stopwatch:
             self._name = name
             self._start = 0.0
 
-        def __enter__(self) -> "Stopwatch._Lap":
+        def __enter__(self) -> Stopwatch._Lap:
             self._start = time.perf_counter()
             return self
 
@@ -36,7 +36,7 @@ class Stopwatch:
                 self._watch.laps.get(self._name, 0.0) + elapsed
             )
 
-    def lap(self, name: str) -> "Stopwatch._Lap":
+    def lap(self, name: str) -> Stopwatch._Lap:
         """Return a context manager that accumulates time under ``name``."""
         return Stopwatch._Lap(self, name)
 

@@ -4,13 +4,26 @@ The cache is the staleness-correctness layer of the blocked join engine
 — indexes are keyed on column *content*, so any mutation of a cached
 column must produce a different key — and the sharing layer that lets
 eval runs and repeated pipelines reuse one index per target column.
+The on-disk tier extends that sharing across processes, so its tests
+target the failure modes of files: torn writes, truncation, garbage,
+format-version drift, and concurrent readers.
 """
 
 from __future__ import annotations
 
+import threading
+
+import numpy as np
 import pytest
 
-from repro.index import IndexCache, QGramIndex, adaptive_q, default_index_cache
+from repro.index import (
+    IndexCache,
+    QGramIndex,
+    adaptive_q,
+    column_fingerprint,
+    default_index_cache,
+)
+from repro.index import cache as cache_module
 
 
 class TestIndexCache:
@@ -101,6 +114,190 @@ class TestIndexCache:
 
     def test_default_cache_is_process_wide(self):
         assert default_index_cache() is default_index_cache()
+
+
+class TestColumnFingerprint:
+    def test_same_length_mutation_changes_fingerprint(self):
+        # The same-length in-place edit is the classic staleness hole:
+        # equal row count, equal lengths, different content.
+        base = ("aaa", "bbb", "ccc")
+        mutated = ("aaa", "zzz", "ccc")
+        assert column_fingerprint(base, 2) != column_fingerprint(mutated, 2)
+
+    def test_value_boundaries_are_unambiguous(self):
+        # Length-prefixed encoding: shifting characters across value
+        # boundaries must not collide.
+        assert column_fingerprint(("ab", "c"), 2) != column_fingerprint(
+            ("a", "bc"), 2
+        )
+        assert column_fingerprint(("ab",), 2) != column_fingerprint(
+            ("a", "b"), 2
+        )
+
+    def test_row_order_and_q_matter(self):
+        assert column_fingerprint(("a", "b"), 2) != column_fingerprint(
+            ("b", "a"), 2
+        )
+        assert column_fingerprint(("ab", "cd"), 2) != column_fingerprint(
+            ("ab", "cd"), 3
+        )
+
+    def test_equal_columns_agree_across_container_types(self):
+        assert column_fingerprint(["ab", "cd"], 2) == column_fingerprint(
+            ("ab", "cd"), 2
+        )
+
+    def test_lone_surrogates_hash(self):
+        assert column_fingerprint(("a\ud800b",), 2) != column_fingerprint(
+            ("ab",), 2
+        )
+
+
+class TestDiskTier:
+    COLUMN = ("alpha", "beta", "gamma", "beta")
+
+    def test_fresh_cache_loads_from_disk(self, tmp_path):
+        writer = IndexCache(cache_dir=tmp_path)
+        built = writer.get(self.COLUMN)
+        assert (writer.disk_hits, writer.disk_misses) == (0, 1)
+        assert list(tmp_path.glob("qgram-*.npz"))
+        reader = IndexCache(cache_dir=tmp_path)
+        loaded = reader.get(self.COLUMN)
+        assert (reader.disk_hits, reader.disk_misses) == (1, 0)
+        assert loaded is not built
+        assert loaded.values == built.values
+        assert loaded.q == built.q
+        assert (loaded.first_rows == built.first_rows).all()
+        assert loaded.value_id("beta") == built.value_id("beta")
+        assert loaded.rows_for(loaded.value_id("beta")) == [1, 3]
+
+    def test_adaptive_and_explicit_share_one_file(self, tmp_path):
+        writer = IndexCache(cache_dir=tmp_path)
+        writer.get(self.COLUMN)  # adaptive resolves to q=2
+        assert len(list(tmp_path.glob("qgram-*.npz"))) == 1
+        reader = IndexCache(cache_dir=tmp_path)
+        reader.get(self.COLUMN, q=2)
+        assert (reader.disk_hits, reader.disk_misses) == (1, 0)
+        assert len(list(tmp_path.glob("qgram-*.npz"))) == 1
+
+    def test_truncated_file_falls_back_to_rebuild(self, tmp_path):
+        IndexCache(cache_dir=tmp_path).get(self.COLUMN)
+        path = next(tmp_path.glob("qgram-*.npz"))
+        path.write_bytes(path.read_bytes()[:64])
+        cache = IndexCache(cache_dir=tmp_path)
+        index = cache.get(self.COLUMN)
+        assert (cache.disk_hits, cache.disk_misses) == (0, 1)
+        assert index.values == ["alpha", "beta", "gamma"]
+        # The rebuild atomically replaced the corrupt file.
+        healed = IndexCache(cache_dir=tmp_path)
+        assert healed.get(self.COLUMN).values == index.values
+        assert (healed.disk_hits, healed.disk_misses) == (1, 0)
+
+    def test_garbage_file_falls_back_to_rebuild(self, tmp_path):
+        IndexCache(cache_dir=tmp_path).get(self.COLUMN)
+        path = next(tmp_path.glob("qgram-*.npz"))
+        path.write_bytes(b"\x00\xffnot-a-zip" * 30)
+        cache = IndexCache(cache_dir=tmp_path)
+        assert cache.get(self.COLUMN).values == ["alpha", "beta", "gamma"]
+        assert cache.disk_misses == 1
+
+    def test_version_stamp_mismatch_invalidates(self, tmp_path, monkeypatch):
+        IndexCache(cache_dir=tmp_path).get(self.COLUMN)
+        monkeypatch.setattr(cache_module, "DISK_FORMAT_VERSION", 999)
+        cache = IndexCache(cache_dir=tmp_path)
+        index = cache.get(self.COLUMN)
+        assert (cache.disk_hits, cache.disk_misses) == (0, 1)
+        assert index.values == ["alpha", "beta", "gamma"]
+        # The rewrite stamped the new version, so the next load hits.
+        restamped = IndexCache(cache_dir=tmp_path)
+        restamped.get(self.COLUMN)
+        assert (restamped.disk_hits, restamped.disk_misses) == (1, 0)
+
+    def test_mutated_column_misses_on_disk(self, tmp_path):
+        IndexCache(cache_dir=tmp_path).get(("aaa", "bbb", "ccc"))
+        cache = IndexCache(cache_dir=tmp_path)
+        cache.get(("aaa", "zzz", "ccc"))
+        assert (cache.disk_hits, cache.disk_misses) == (0, 1)
+        assert len(list(tmp_path.glob("qgram-*.npz"))) == 2
+
+    def test_concurrent_readers_and_writers_never_tear(self, tmp_path):
+        # Hammer one fingerprint file with rewriters while readers load
+        # it: every load must come back either as the complete index or
+        # as a clean rebuild — never a torn/partial structure.
+        column = tuple(f"value-{i:04d}" for i in range(200))
+        seed_cache = IndexCache(cache_dir=tmp_path)
+        expected = seed_cache.get(column)
+        path = seed_cache.disk_path(column, expected.q)
+        stop = threading.Event()
+        failures: list[Exception] = []
+
+        def rewriter():
+            while not stop.is_set():
+                seed_cache._save_disk(path, expected)
+
+        def reader():
+            try:
+                for _ in range(20):
+                    index = IndexCache(cache_dir=tmp_path).get(column)
+                    assert index.values == expected.values
+                    assert (index.lengths == expected.lengths).all()
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        writer = threading.Thread(target=rewriter)
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writer.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        writer.join()
+        assert not failures
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unwritable_cache_dir_is_non_fatal(self, tmp_path):
+        # A file where the directory should be: every save fails, every
+        # load misses, and the join still gets a correct index.
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        cache = IndexCache(cache_dir=blocked)
+        assert cache.get(self.COLUMN).values == ["alpha", "beta", "gamma"]
+        assert cache.disk_misses == 1
+
+    def test_memory_only_cache_has_no_disk_path(self):
+        with pytest.raises(ValueError):
+            IndexCache().disk_path(("a", "b"), 2)
+
+    def test_state_round_trip_preserves_lookup_behaviour(self):
+        column = ("alpha", "beta", "", "beta", "a\ud800b")
+        index = QGramIndex(column, q=2)
+        state = index.to_state()
+        clone = QGramIndex.from_state(
+            {k: np.asarray(v) for k, v in state.items()}
+        )
+        assert clone.values == index.values
+        assert clone.max_length == index.max_length
+        for probe in ("alpha", "beta", "nope", ""):
+            assert clone.value_id(probe) == index.value_id(probe)
+        for cap in (1, 3):
+            for probe in ("alph", "betaa", "zzz"):
+                assert (
+                    clone.candidates(probe, cap) == index.candidates(probe, cap)
+                ).all()
+
+    def test_default_cache_reads_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_module.CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setattr(cache_module, "_DEFAULT_CACHE", None)
+        cache = cache_module.default_index_cache()
+        assert cache.cache_dir == tmp_path
+        cache.get(self.COLUMN)
+        assert list(tmp_path.glob("qgram-*.npz"))
+
+    def test_default_cache_memory_only_without_env(self, monkeypatch):
+        monkeypatch.delenv(cache_module.CACHE_DIR_ENV, raising=False)
+        monkeypatch.setattr(cache_module, "_DEFAULT_CACHE", None)
+        assert cache_module.default_index_cache().cache_dir is None
 
 
 class TestAdaptiveQ:

@@ -1,0 +1,289 @@
+"""Parallel sharded join: byte-equivalence with the serial engine.
+
+The worker pool is a pure execution choice — for any worker count the
+merged output of ``join_many`` must be **byte-identical** to the serial
+engine (matches, distances, earliest-row tie-breaks, threshold
+abstentions).  These tests enforce that on every registry dataset and on
+adversarial shapes (skewed buckets, tiny forced-parallel batches), and
+cover the shard planner, the auto-worker policy, and the ``JoinStats``
+counters threaded into eval reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from repro.utils.fuzz import random_edits, random_unicode_string
+
+from repro.datagen.benchmarks.registry import dataset_names, get_dataset
+from repro.index import IndexCache, IndexedJoiner, JoinStats
+from repro.index.parallel import plan_shards
+from repro.index.qgram import QGramIndex
+
+_SEED = 5150
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
+
+
+def _probe_mix(rng, targets, count):
+    """Exact, near, far, and abstained probes — the pipeline's mix."""
+    probes = []
+    for _ in range(count):
+        roll = rng.random()
+        base = rng.choice(targets)
+        if roll < 0.3:
+            probes.append(base)
+        elif roll < 0.7:
+            probes.append(
+                random_edits(rng, base, rng.randint(1, 3), alphabet=_ALPHABET)
+            )
+        elif roll < 0.9:
+            probes.append(random_unicode_string(rng, max_length=12))
+        else:
+            probes.append("")
+    return probes
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_byte_identical_on_dataset_at_1_2_4_workers(self, name):
+        # One pooled column per dataset (tables concatenated) keeps the
+        # worker-pool startup cost bounded while still covering every
+        # dataset's value shapes.
+        rng = random.Random(_SEED)
+        tables = get_dataset(name, seed=0, scale=0.05)
+        targets = [value for table in tables for value in table.targets]
+        probes = _probe_mix(rng, targets, len(targets))
+        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
+        expected = serial.join_many(probes, targets)
+        for n_workers in (1, 2, 4):
+            joiner = IndexedJoiner(cache=IndexCache(), n_workers=n_workers)
+            assert joiner.join_many(probes, targets) == expected, (
+                name,
+                n_workers,
+            )
+
+    def test_thresholds_identical_under_parallelism(self):
+        rng = random.Random(_SEED + 1)
+        targets = [
+            random_unicode_string(rng, max_length=14, min_length=4)
+            for _ in range(300)
+        ]
+        probes = _probe_mix(rng, targets, 200)
+        for kwargs in ({"max_distance": 2}, {"normalized_threshold": 0.34}):
+            serial = IndexedJoiner(cache=IndexCache(), n_workers=1, **kwargs)
+            parallel = IndexedJoiner(cache=IndexCache(), n_workers=2, **kwargs)
+            assert parallel.join_many(probes, targets) == serial.join_many(
+                probes, targets
+            ), kwargs
+
+    def test_skewed_single_bucket_is_split_and_identical(self):
+        # Every probe shares one length: the planner must split the one
+        # bucket by candidate mass instead of shipping it whole.
+        rng = random.Random(_SEED + 2)
+        targets = [
+            random_unicode_string(
+                rng, max_length=10, min_length=6, alphabet=_ALPHABET
+            )
+            for _ in range(500)
+        ]
+        probes = [
+            "".join(rng.choice(_ALPHABET) for _ in range(8)) for _ in range(240)
+        ]
+        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
+        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        assert parallel.join_many(probes, targets) == serial.join_many(
+            probes, targets
+        )
+        stats = parallel.last_join_stats
+        assert stats.buckets == 1
+        assert stats.shards > 1
+        assert sum(stats.shard_sizes) == stats.pending
+
+    def test_forced_workers_on_tiny_batch(self):
+        # An explicit n_workers engages the pool even far below the
+        # auto threshold — and still matches the serial scan.
+        targets = ["alpha", "beta", "gamma", "delta", "epsilon"] * 3
+        probes = ["alpa", "betta", "gamm", "", "epsilon", "zzzz"]
+        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
+        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        assert parallel.join_many(probes, targets) == serial.join_many(
+            probes, targets
+        )
+        assert parallel.last_join_stats.n_workers == 2
+
+    def test_non_fork_start_method_with_live_threads(self, monkeypatch):
+        # Forking a multi-threaded process can deadlock workers on
+        # inherited locks, so the pool must fall back to a fresh-start
+        # method — and stay byte-identical through it (workers rebuild
+        # the index from the pickled column instead of inheriting it).
+        from repro.index import parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module.threading, "active_count", lambda: 2
+        )
+        assert parallel_module._pool_context().get_start_method() != "fork"
+        targets = [f"value-{i:04d}" for i in range(300)]
+        probes = [f"valu-{i:04d}" for i in range(30)] + ["value-0007", ""]
+        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
+        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        assert parallel.join_many(probes, targets) == serial.join_many(
+            probes, targets
+        )
+
+    def test_exact_only_batch_skips_the_pool(self):
+        # Nothing pending: every probe resolves exactly or abstains, so
+        # even an explicit worker count must not spawn processes.
+        targets = ["alpha", "beta", "gamma"]
+        joiner = IndexedJoiner(cache=IndexCache(), n_workers=4)
+        assert joiner.join_many(["alpha", "", "beta"], targets) == [
+            ("alpha", 0),
+            (None, 0),
+            ("beta", 0),
+        ]
+        stats = joiner.last_join_stats
+        assert stats.n_workers == 1
+        assert stats.shards == 0
+
+
+class TestWorkerPolicy:
+    def test_explicit_workers_validated(self):
+        with pytest.raises(ValueError):
+            IndexedJoiner(n_workers=0)
+        with pytest.raises(ValueError):
+            IndexedJoiner(parallel_threshold=-1)
+
+    def test_auto_mode_respects_threshold_and_cpu_count(self, monkeypatch):
+        joiner = IndexedJoiner(cache=IndexCache(), parallel_threshold=100)
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        assert joiner._resolve_workers(99) == 1
+        assert joiner._resolve_workers(100) == 4
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        assert (
+            joiner._resolve_workers(100) == IndexedJoiner._MAX_AUTO_WORKERS
+        )
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert joiner._resolve_workers(100) == 1
+
+    def test_explicit_workers_bypass_threshold(self):
+        joiner = IndexedJoiner(
+            cache=IndexCache(), n_workers=3, parallel_threshold=10**9
+        )
+        assert joiner._resolve_workers(5) == 3
+        assert joiner._resolve_workers(0) == 1
+
+
+class TestShardPlanner:
+    def test_plan_is_deterministic_and_partitions_buckets(self):
+        rng = random.Random(_SEED + 3)
+        targets = [
+            random_unicode_string(rng, max_length=12, min_length=4)
+            for _ in range(400)
+        ]
+        index = QGramIndex(targets, q=2)
+        buckets = {
+            6: [f"probe{i}"[:6] + str(i) for i in range(80)],
+            9: ["x" * 9 for _ in range(3)],
+        }
+        first = plan_shards(index, buckets, n_workers=4)
+        second = plan_shards(index, buckets, n_workers=4)
+        assert first == second
+        flattened = {
+            length: [p for sl, ps in first if sl == length for p in ps]
+            for length in buckets
+        }
+        assert flattened == buckets  # order-preserving partition
+
+    def test_mass_splits_dense_lengths_harder(self):
+        # 300 targets at length 8, 10 at length 20: the length-8 bucket
+        # carries ~30x the per-probe mass and must split into more
+        # shards than the sparse one despite equal probe counts.
+        targets = ["a" * 4 + str(i).zfill(4) for i in range(300)]
+        targets += ["b" * 16 + str(i).zfill(4) for i in range(10)]
+        index = QGramIndex(targets, q=2)
+        probes_dense = [f"c{i:07d}" for i in range(40)]
+        probes_sparse = [f"d{i:019d}" for i in range(40)]
+        shards = plan_shards(
+            index, {8: probes_dense, 20: probes_sparse}, n_workers=2
+        )
+        dense = [ps for length, ps in shards if length == 8]
+        sparse = [ps for length, ps in shards if length == 20]
+        assert len(dense) > len(sparse)
+
+    def test_empty_buckets_make_no_shards(self):
+        index = QGramIndex(["abc"], q=2)
+        assert plan_shards(index, {}, n_workers=4) == []
+
+
+class TestJoinStatsThreading:
+    def test_serial_stats_shape(self):
+        joiner = IndexedJoiner(cache=IndexCache())
+        targets = ["alpha", "beta", "gamma", "beta"]
+        probes = ["alpha", "alpha", "betta", "", "zzz"]
+        joiner.join_many(probes, targets)
+        stats = joiner.last_join_stats
+        assert isinstance(stats, JoinStats)
+        assert stats.probes == 5
+        assert stats.unique_probes == 4
+        assert stats.exact_matches == 1
+        assert stats.empty_probes == 1
+        assert stats.pending == 2
+        assert stats.n_workers == 1
+        assert stats.cache_misses == 1
+        as_dict = stats.as_dict()
+        assert as_dict["probes"] == 5
+        assert isinstance(as_dict["shard_sizes"], list)
+
+    def test_parallel_stats_count_workers_and_disk(self, tmp_path, monkeypatch):
+        rng = random.Random(_SEED + 4)
+        targets = [
+            random_unicode_string(rng, max_length=12, min_length=4)
+            for _ in range(300)
+        ]
+        probes = _probe_mix(rng, targets, 150)
+        joiner = IndexedJoiner(
+            cache=IndexCache(cache_dir=tmp_path), n_workers=2
+        )
+        expected = joiner.join_many(probes, targets)
+        stats = joiner.last_join_stats
+        assert stats.n_workers == 2
+        assert stats.shards >= 1
+        assert len(stats.shard_sizes) == stats.shards
+        # The parent built and persisted the index; fork-started
+        # workers inherit it copy-on-write, paying no disk traffic.
+        assert stats.disk_misses >= 1
+        # Fresh-start pools resolve through the disk tier instead: the
+        # parent hits it on its memory miss, and every shard-executing
+        # worker reports its own load.
+        from repro.index import parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module.threading, "active_count", lambda: 2
+        )
+        fresh = IndexedJoiner(
+            cache=IndexCache(cache_dir=tmp_path), n_workers=2
+        )
+        assert fresh.join_many(probes, targets) == expected
+        assert fresh.last_join_stats.disk_hits >= 2
+
+    def test_eval_report_carries_engine_and_join_stats(self):
+        from repro.eval.runner import DTTJoinerAdapter, evaluate_on_table
+        from repro.surrogate import PretrainedDTT
+
+        table = get_dataset("WT", seed=0, scale=0.05)[0]
+        adapter = DTTJoinerAdapter(
+            PretrainedDTT(seed=0), n_trials=2, joiner="indexed"
+        )
+        report = evaluate_on_table(adapter, table)
+        assert report.stats is not None
+        assert report.stats["engine"]["prompts"] > 0
+        join_stats = report.stats["join"]
+        assert join_stats["probes"] == len(table.split(0.5)[1])
+        assert join_stats["n_workers"] == 1  # small table stays serial
+
+    def test_pipeline_forwards_n_workers(self):
+        from repro.core.pipeline import DTTPipeline
+        from repro.surrogate import PretrainedDTT
+
+        pipeline = DTTPipeline(PretrainedDTT(seed=0), n_workers=2)
+        assert pipeline.joiner._indexed.n_workers == 2
