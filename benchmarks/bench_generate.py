@@ -24,13 +24,12 @@ overwrite the committed artifact.
 
 from __future__ import annotations
 
-import argparse
 import json
 import random
 import time
-from pathlib import Path
 
 import numpy as np
+from bench_utils import artifact_path, emit_report, parse_bench_args
 from conftest import persist
 
 from repro.infer import GenerationEngine
@@ -43,7 +42,7 @@ _OUTPUT_LENGTH = 128
 _SMOKE_N_PROMPTS = 8
 _SMOKE_OUTPUT_LENGTH = 64
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
-_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_generate.json"
+_JSON_PATH = artifact_path("generate")
 
 
 def _prompts(rng: random.Random, count: int) -> list[str]:
@@ -179,18 +178,12 @@ def test_bench_generate(results_dir):
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sanity sweep; prints results without writing the artifact",
-    )
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
     if args.smoke:
         report = run_generate_bench(
             n_prompts=_SMOKE_N_PROMPTS, output_length=_SMOKE_OUTPUT_LENGTH
         )
-        print(json.dumps(report, indent=2))
+        emit_report(report, _JSON_PATH, args)
         # CI-enforced floor: the incremental engine must beat the
         # full-prefix loop even at smoke scale (the full >= 3x bar at
         # 128 tokens is asserted by ``pytest benchmarks/bench_generate.py``,
@@ -202,5 +195,4 @@ if __name__ == "__main__":
             )
     else:
         report = run_generate_bench()
-        _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
-        print(json.dumps(report, indent=2))
+        emit_report(report, _JSON_PATH, args)

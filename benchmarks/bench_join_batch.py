@@ -23,12 +23,11 @@ overwrite the committed artifact.
 
 from __future__ import annotations
 
-import argparse
 import json
 import random
 import time
-from pathlib import Path
 
+from bench_utils import artifact_path, emit_report, parse_bench_args
 from conftest import persist
 
 from repro.index import IndexCache, IndexedJoiner
@@ -40,7 +39,7 @@ _SMOKE_SIZES = (500,)
 # Table-cell-like alphabet and the query mix of bench_join_scaling:
 # mostly exact or lightly corrupted predictions, some garbage.
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
-_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_join_batch.json"
+_JSON_PATH = artifact_path("join_batch")
 
 
 def _random_string(rng: random.Random) -> str:
@@ -131,16 +130,10 @@ def test_join_batch(results_dir):
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sanity sweep; prints results without writing the artifact",
-    )
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
     if args.smoke:
         report = run_join_batch(sizes=_SMOKE_SIZES)
-        print(json.dumps(report, indent=2))
+        emit_report(report, _JSON_PATH, args)
         # CI-enforced floor: batching must beat the per-probe loop even
         # at smoke scale (the full >= 3x bar at 20k is asserted by
         # ``pytest benchmarks/bench_join_batch.py``, which refreshes the
@@ -151,5 +144,4 @@ if __name__ == "__main__":
             )
     else:
         report = run_join_batch()
-        _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
-        print(json.dumps(report, indent=2))
+        emit_report(report, _JSON_PATH, args)

@@ -22,14 +22,13 @@ serial/parallel equivalence check at 2 workers.
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
 import random
 import tempfile
 import time
-from pathlib import Path
 
+from bench_utils import artifact_path, emit_report, parse_bench_args
 from conftest import persist
 
 from repro.index import IndexCache, IndexedJoiner
@@ -42,7 +41,7 @@ _WORKER_COUNTS = (1, 2, 4, 8)
 _SMOKE_WORKER_COUNTS = (1, 2, 4)
 _SMOKE_FLOOR_AT_4 = 1.3
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
-_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_join_parallel.json"
+_JSON_PATH = artifact_path("join_parallel")
 
 
 def _random_string(rng: random.Random) -> str:
@@ -194,18 +193,12 @@ def test_join_parallel(results_dir):
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sanity sweep; prints results without writing the artifact",
-    )
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
     if args.smoke:
         report = run_join_parallel(
             sizes=_SMOKE_SIZES, worker_counts=_SMOKE_WORKER_COUNTS
         )
-        print(json.dumps(report, indent=2))
+        emit_report(report, _JSON_PATH, args)
         # CI-enforced floors.  Byte-equivalence at 2 workers was already
         # asserted inside the sweep; the scaling floor needs real cores.
         for row in report["disk_cache"]:
@@ -231,5 +224,4 @@ if __name__ == "__main__":
             )
     else:
         report = run_join_parallel()
-        _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
-        print(json.dumps(report, indent=2))
+        emit_report(report, _JSON_PATH, args)

@@ -14,12 +14,11 @@ clocks.
 
 from __future__ import annotations
 
-import argparse
 import json
 import random
 import time
-from pathlib import Path
 
+from bench_utils import artifact_path, emit_report, parse_bench_args
 from conftest import persist
 
 from repro.core.joiner import EditDistanceJoiner
@@ -31,7 +30,7 @@ _SIZES = (1000, 5000, 20000)
 _QUERIES_PER_SIZE = 30
 # Table-cell-like alphabet (vs the tests' mixed-plane fuzz alphabet).
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
-_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_join_scaling.json"
+_JSON_PATH = artifact_path("join_scaling")
 
 
 def _random_string(rng: random.Random) -> str:
@@ -127,18 +126,9 @@ def test_join_scaling(results_dir):
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sanity sweep (CI slow lane); verifies brute/indexed "
-        "equivalence and prints results without writing the artifact",
-    )
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
     if args.smoke:
         report = run_join_scaling(sizes=(1000,))
-        print(json.dumps(report, indent=2))
     else:
         report = run_join_scaling()
-        _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
-        print(json.dumps(report, indent=2))
+    emit_report(report, _JSON_PATH, args)

@@ -1,0 +1,256 @@
+"""Serving-layer throughput/latency: micro-batching vs one-at-a-time.
+
+Drives one ``TransformService`` (wrapping the tiny incremental
+transformer, whose decode micro-batches vectorize across requests) with
+1 / 4 / 16 concurrent clients issuing single-row transform requests,
+against a **serial** baseline that executes the same requests through
+direct one-at-a-time ``DTTPipeline`` calls.  Outputs are cross-checked
+against the direct calls before any clock is trusted — the service's
+contract is byte-equivalence, so the speedup columns measure pure
+scheduling.
+
+A second section isolates the memoized result cache: the same request
+set replayed against a warm service, where every row is served from the
+content-fingerprinted cache without touching the engine.
+
+Results go to ``BENCH_serve.json`` at the repository root.  Run
+directly for the full sweep, or with ``--smoke`` for a seconds-scale
+sanity run that enforces the CI floors: coalesced throughput >= 2x the
+serial baseline at 16 clients, and warm-cache replay >= 10x faster than
+the cold run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from bench_utils import artifact_path, emit_report, parse_bench_args
+from conftest import persist
+
+from repro.core.pipeline import DTTPipeline
+from repro.model import ByteSeq2SeqModel
+from repro.model.config import DTTModelConfig
+from repro.serve import TransformService
+from repro.types import ExamplePair
+from repro.utils.fuzz import random_unicode_string
+
+_SEED = 59
+_N_REQUESTS = 64
+_SMOKE_N_REQUESTS = 32
+_CLIENT_COUNTS = (1, 4, 16)
+_N_TRIALS = 1
+# Short window: coalescing under load is execution-time-driven (requests
+# queue while the previous batch decodes), so the window only pads the
+# idle tail of a batch — and it is the floor of a warm-cache hit.
+_MAX_WAIT_MS = 2.0
+_THROUGHPUT_FLOOR_AT_16 = 2.0
+_WARM_CACHE_FLOOR = 10.0
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
+_JSON_PATH = artifact_path("serve")
+
+_EXAMPLES = [
+    ExamplePair("Justin Trudeau", "jtrudeau"),
+    ExamplePair("Stephen Harper", "sharper"),
+    ExamplePair("Paul Martin", "pmartin"),
+]
+
+
+# Tiny width (per-step overhead dominates, which is what cross-request
+# batching amortizes) but a full-length decode budget, so each cold
+# request does realistic work.
+_MODEL_CONFIG = DTTModelConfig(
+    dim=32,
+    n_heads=2,
+    encoder_layers=2,
+    decoder_layers=1,
+    ffn_hidden=64,
+    max_input_length=96,
+    max_output_length=48,
+)
+
+
+def _pipeline() -> DTTPipeline:
+    return DTTPipeline(
+        ByteSeq2SeqModel(_MODEL_CONFIG), n_trials=_N_TRIALS, seed=_SEED
+    )
+
+
+def _sources(rng: random.Random, count: int) -> list[str]:
+    """Distinct single-row requests (distinct = no cache effects)."""
+    return [
+        random_unicode_string(
+            rng, max_length=14, min_length=6, alphabet=_ALPHABET
+        )
+        + f"-{i}"
+        for i in range(count)
+    ]
+
+
+def _run_clients(
+    service: TransformService, sources: list[str], clients: int
+) -> tuple[list, float, float]:
+    """Submit one request per source from ``clients`` threads.
+
+    Returns (per-request results, wall seconds, p50 latency seconds).
+    """
+    latencies: list[float] = [0.0] * len(sources)
+    results: list = [None] * len(sources)
+
+    def one(i: int) -> None:
+        started = time.perf_counter()
+        results[i] = service.transform([sources[i]], _EXAMPLES)
+        latencies[i] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        for future in [pool.submit(one, i) for i in range(len(sources))]:
+            future.result()
+    wall = time.perf_counter() - started
+    return results, wall, statistics.median(latencies)
+
+
+def run_serve_bench(seed: int = _SEED, n_requests: int = _N_REQUESTS) -> dict:
+    """Run the sweep and return the JSON-serializable report."""
+    rng = random.Random(seed)
+    sources = _sources(rng, n_requests)
+
+    # Serial baseline: the same single-row requests, one direct
+    # pipeline call at a time — the pre-serving execution model.
+    direct = _pipeline()
+    started = time.perf_counter()
+    expected = [direct.transform_column([value], _EXAMPLES) for value in sources]
+    serial_seconds = time.perf_counter() - started
+    serial_rps = n_requests / serial_seconds
+
+    rows = []
+    warm_service: TransformService | None = None
+    cold_wall_at_16 = None
+    for clients in _CLIENT_COUNTS:
+        service = TransformService(
+            _pipeline(), max_wait_ms=_MAX_WAIT_MS, max_queue=4 * n_requests
+        )
+        results, wall, p50 = _run_clients(service, sources, clients)
+        assert results == expected, (
+            f"service output diverged from direct pipeline at {clients} clients"
+        )
+        stats = service.stats()
+        rows.append(
+            {
+                "clients": clients,
+                "requests": n_requests,
+                "seconds": round(wall, 4),
+                "throughput_rps": round(n_requests / wall, 1),
+                "p50_latency_ms": round(p50 * 1000, 2),
+                "batches": stats.batches,
+                "requests_per_batch": round(
+                    stats.batched_requests / max(stats.batches, 1), 2
+                ),
+                "speedup_vs_serial": round(serial_seconds / wall, 2),
+            }
+        )
+        if clients == _CLIENT_COUNTS[-1]:
+            warm_service = service
+            cold_wall_at_16 = wall
+        else:
+            service.close()
+
+    # Warm replay: the same requests against the surviving service —
+    # every row is now a content-fingerprinted cache hit.
+    assert warm_service is not None and cold_wall_at_16 is not None
+    results, warm_wall, warm_p50 = _run_clients(
+        warm_service, sources, _CLIENT_COUNTS[-1]
+    )
+    assert results == expected, "warm-cache replay diverged from direct pipeline"
+    warm_stats = warm_service.stats()
+    warm_service.close()
+    cache = {
+        "requests": n_requests,
+        "cold_seconds": round(cold_wall_at_16, 4),
+        "warm_seconds": round(warm_wall, 4),
+        "warm_p50_latency_ms": round(warm_p50 * 1000, 2),
+        "speedup": round(cold_wall_at_16 / warm_wall, 2),
+        "cache_hits": warm_stats.cache_hits,
+        "cache_misses": warm_stats.cache_misses,
+    }
+    return {
+        "bench": "serve",
+        "seed": seed,
+        "model": "ByteSeq2Seq(dim=32, 2+1 layers, 48-token decode), untrained",
+        "n_trials": _N_TRIALS,
+        "max_wait_ms": _MAX_WAIT_MS,
+        "serial_baseline": {
+            "seconds": round(serial_seconds, 4),
+            "throughput_rps": round(serial_rps, 1),
+        },
+        "rows": rows,
+        "warm_cache": cache,
+    }
+
+
+def _render(report: dict) -> str:
+    lines = ["Serving layer: coalesced service vs serial pipeline calls"]
+    lines.append(
+        "clients".ljust(9)
+        + "seconds".rjust(9)
+        + "rps".rjust(8)
+        + "p50 ms".rjust(9)
+        + "req/batch".rjust(11)
+        + "speedup".rjust(9)
+    )
+    for row in report["rows"]:
+        lines.append(
+            f"{row['clients']:<9d}{row['seconds']:>9.3f}"
+            f"{row['throughput_rps']:>8.1f}{row['p50_latency_ms']:>9.2f}"
+            f"{row['requests_per_batch']:>11.2f}"
+            f"{row['speedup_vs_serial']:>8.2f}x"
+        )
+    cache = report["warm_cache"]
+    lines.append(
+        f"\nWarm cache: cold {cache['cold_seconds']:.3f}s vs warm "
+        f"{cache['warm_seconds']:.3f}s ({cache['speedup']:.1f}x, "
+        f"p50 {cache['warm_p50_latency_ms']:.2f} ms)"
+    )
+    return "\n".join(lines)
+
+
+def test_bench_serve(results_dir):
+    report = run_serve_bench()
+    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    persist(
+        results_dir,
+        "serve",
+        _render(report) + f"\n\n[json written to {_JSON_PATH}]",
+    )
+    by_clients = {row["clients"]: row for row in report["rows"]}
+    # The acceptance bar: coalescing must beat serial 2x at 16 clients.
+    assert (
+        by_clients[16]["speedup_vs_serial"] >= _THROUGHPUT_FLOOR_AT_16
+    ), by_clients[16]
+    # And warm-cache hits must be an order of magnitude cheaper.
+    assert report["warm_cache"]["speedup"] >= _WARM_CACHE_FLOOR, report[
+        "warm_cache"
+    ]
+
+
+if __name__ == "__main__":
+    args = parse_bench_args(__doc__)
+    if args.smoke:
+        report = run_serve_bench(n_requests=_SMOKE_N_REQUESTS)
+        emit_report(report, _JSON_PATH, args)
+        # CI-enforced floors (the full bars are asserted by
+        # ``pytest benchmarks/bench_serve.py``, which refreshes the
+        # committed artifact).
+        by_clients = {row["clients"]: row for row in report["rows"]}
+        assert (
+            by_clients[16]["speedup_vs_serial"] >= _THROUGHPUT_FLOOR_AT_16
+        ), f"serving coalescing regressed below 2x: {by_clients[16]}"
+        assert report["warm_cache"]["speedup"] >= _WARM_CACHE_FLOOR, (
+            f"warm-cache replay regressed below 10x: {report['warm_cache']}"
+        )
+    else:
+        report = run_serve_bench()
+        emit_report(report, _JSON_PATH, args)

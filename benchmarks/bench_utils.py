@@ -1,0 +1,66 @@
+"""Shared CLI + artifact plumbing for the ``BENCH_*.json`` emitters.
+
+Every perf bench in this directory follows the same shape: a full sweep
+that refreshes a committed ``BENCH_<name>.json`` artifact at the
+repository root, and a ``--smoke`` mode for CI that prints the report
+without touching the artifact.  This module holds the once-duplicated
+boilerplate:
+
+* :func:`parse_bench_args` — the standard ``--smoke`` / ``--json-out``
+  argument parser (``--json-out`` redirects the artifact anywhere,
+  including in smoke mode, where the default is to write nothing).
+* :func:`emit_report` — serialize the report, write the artifact when a
+  path applies, and echo the JSON to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def artifact_path(name: str) -> Path:
+    """The committed artifact location for bench ``name``."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def parse_bench_args(
+    doc: str | None, argv: list[str] | None = None
+) -> argparse.Namespace:
+    """Parse the standard bench CLI: ``--smoke`` and ``--json-out``."""
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sanity sweep; prints results without writing the "
+        "committed artifact (unless --json-out names one)",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        help="write the JSON report to this path instead of the default "
+        "artifact location",
+    )
+    return parser.parse_args(argv)
+
+
+def emit_report(
+    report: dict, default_path: Path | None, args: argparse.Namespace
+) -> None:
+    """Write the artifact (when applicable) and echo the JSON.
+
+    The full sweep writes to ``default_path``; smoke runs write nothing.
+    An explicit ``--json-out`` wins in either mode, so CI can archive a
+    smoke report without overwriting the committed trajectory.
+    """
+    text = json.dumps(report, indent=2)
+    path = args.json_out
+    if path is None and not args.smoke:
+        path = default_path
+    if path is not None:
+        path.write_text(text + "\n")
+    print(text)

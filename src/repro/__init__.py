@@ -32,6 +32,7 @@ from repro.core import (
 )
 from repro.index import AutoJoiner, IndexedJoiner, make_joiner
 from repro.infer import GenerationEngine
+from repro.serve import ResultCache, TransformService
 from repro.surrogate import GPT3Surrogate, PretrainedDTT, TrainingProfile
 from repro.metrics import score_edits, score_join
 from repro.datagen.benchmarks import dataset_names, get_dataset
@@ -54,6 +55,8 @@ __all__ = [
     "AutoJoiner",
     "make_joiner",
     "GenerationEngine",
+    "TransformService",
+    "ResultCache",
     "PretrainedDTT",
     "GPT3Surrogate",
     "TrainingProfile",

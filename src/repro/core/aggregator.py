@@ -133,6 +133,10 @@ class MultiModelAggregator:
 
             engine = GenerationEngine()
         self.engine = engine
+        #: Per-model :class:`~repro.infer.engine.EngineStats` from the
+        #: most recent :meth:`generate_candidates` call, aligned with
+        #: :attr:`models` (empty before the first call).
+        self.last_run_stats: list = []
 
     @property
     def name(self) -> str:
@@ -147,7 +151,12 @@ class MultiModelAggregator:
         compaction; non-incremental models fall back to their own
         ``generate`` inside the same pass.
         """
-        per_model = self.engine.run(
+        per_model, per_model_stats = self.engine.run_with_stats(
             [(model, prompts) for model in self.models]
         )
+        self.last_run_stats = per_model_stats
+        if per_model_stats:
+            # Preserve the single-engine contract: after a pass, the
+            # scheduling engine's ``last_stats`` reflects its last job.
+            self.engine.last_stats = per_model_stats[-1]
         return [list(outputs) for outputs in zip(*per_model, strict=True)]

@@ -136,6 +136,21 @@ class EditDistanceJoiner:
         if lower > upper:
             raise ValueError(f"lower ({lower}) must be <= upper ({upper})")
 
+    def close(self) -> None:
+        """Release execution resources; a no-op for the scalar scan.
+
+        Joiners are uniformly closable so long-lived owners (the
+        serving layer, an eval loop) can tear down whichever strategy
+        they were handed — the blocked engine overrides this to shut
+        down its persistent worker pool.
+        """
+
+    def __enter__(self) -> EditDistanceJoiner:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def join(
         self,
         predictions: Sequence[Prediction],

@@ -11,18 +11,36 @@ cases:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.aggregator import Aggregator, MultiModelAggregator
 from repro.core.interface import SequenceModel
 from repro.core.joiner import EditDistanceJoiner
-from repro.core.serializer import Decomposer, PromptSerializer
+from repro.core.serializer import Decomposer, PromptSerializer, SubTask
 from repro.types import ExamplePair, JoinResult, Prediction
 from repro.utils.timing import Stopwatch
 
 if TYPE_CHECKING:
     from repro.infer.engine import GenerationEngine
+
+
+def model_fingerprint(model: SequenceModel) -> str:
+    """Content fingerprint of a model, for result-cache keys.
+
+    Models that know how to fingerprint themselves (configuration plus
+    weights for the trainable transformer, the deterministic parameter
+    set for the surrogates) expose a ``fingerprint()`` method; anything
+    else falls back to its type and name — coarse, but honest: two
+    differently named models never share a cache entry, and an unnamed
+    external model changes its fingerprint when swapped for another
+    class.
+    """
+    fingerprint = getattr(model, "fingerprint", None)
+    if callable(fingerprint):
+        return str(fingerprint())
+    return f"{type(model).__qualname__}:{getattr(model, 'name', '')}"
 
 
 class DTTPipeline:
@@ -103,6 +121,77 @@ class DTTPipeline:
         """The generation engine scheduling the prediction stage."""
         return self._ensemble.engine
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of everything that determines the outputs.
+
+        Covers the ensemble's model fingerprints, the decomposition
+        configuration (context size, trial count, sampling seed), and
+        the generation engine's output-relevant settings (mode,
+        temperature, sampling seed, stop behaviour).  Scheduling knobs
+        that provably do not change greedy outputs (batch size, bucket
+        width) are excluded so a retuned scheduler keeps its cache
+        warm.  Used by the serving layer to key its memoized transform
+        results; compute it *after* any training step — the trainable
+        model's fingerprint covers its weights.
+        """
+        engine = self.engine
+        digest = hashlib.sha256()
+        digest.update(b"repro.pipeline.fingerprint")
+        for model in self.models:
+            digest.update(model_fingerprint(model).encode("utf-8"))
+            digest.update(b"\x00")
+        parts = (
+            self.decomposer.context_size,
+            self.decomposer.n_trials,
+            self.decomposer.seed,
+            engine.mode,
+            engine.temperature,
+            engine.seed,
+            engine.stop_on_eos,
+        )
+        digest.update(repr(parts).encode("utf-8"))
+        return digest.hexdigest()
+
+    def prepare_prompts(
+        self,
+        sources: Sequence[str],
+        examples: Sequence[ExamplePair],
+    ) -> tuple[list[SubTask], list[str]]:
+        """Decompose and serialize: the prompt-construction stage.
+
+        Returns the sub-tasks and their serialized prompts, aligned.
+        Exposed separately so external schedulers (the serving layer's
+        micro-batcher) can compose prompts from many requests into one
+        engine pass while keeping this stage byte-identical to
+        :meth:`transform_column`.
+        """
+        subtasks = self.decomposer.decompose(sources, examples)
+        prompts = [
+            self.serializer.serialize(task.context, task.query)
+            for task in subtasks
+        ]
+        return subtasks, prompts
+
+    def aggregate_candidates(
+        self,
+        sources: Sequence[str],
+        subtasks: Sequence[SubTask],
+        candidate_lists: Sequence[Sequence[str]],
+    ) -> list[Prediction]:
+        """Vote per-row candidates into predictions: the final stage.
+
+        ``candidate_lists[i]`` carries the per-model candidates of
+        ``subtasks[i]``; rows missing from ``subtasks`` aggregate over
+        an empty candidate pool (an abstention).
+        """
+        per_row: dict[int, list[str]] = {i: [] for i in range(len(sources))}
+        for task, candidates in zip(subtasks, candidate_lists, strict=True):
+            per_row[task.row_index].extend(candidates)
+        return [
+            self.aggregator.aggregate(sources[i], per_row[i])
+            for i in range(len(sources))
+        ]
+
     def transform_column(
         self,
         sources: Sequence[str],
@@ -121,21 +210,13 @@ class DTTPipeline:
         if not sources:
             return []
         with self.stopwatch.lap("decompose"):
-            subtasks = self.decomposer.decompose(sources, examples)
-            prompts = [
-                self.serializer.serialize(task.context, task.query)
-                for task in subtasks
-            ]
+            subtasks, prompts = self.prepare_prompts(sources, examples)
         with self.stopwatch.lap("predict"):
             candidate_lists = self._ensemble.generate_candidates(prompts)
         with self.stopwatch.lap("aggregate"):
-            per_row: dict[int, list[str]] = {i: [] for i in range(len(sources))}
-            for task, candidates in zip(subtasks, candidate_lists, strict=True):
-                per_row[task.row_index].extend(candidates)
-            predictions = [
-                self.aggregator.aggregate(sources[i], per_row[i])
-                for i in range(len(sources))
-            ]
+            predictions = self.aggregate_candidates(
+                sources, subtasks, candidate_lists
+            )
         return predictions
 
     def join(

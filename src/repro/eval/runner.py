@@ -17,6 +17,7 @@ from repro.core.interface import SequenceModel
 from repro.core.joiner import EditDistanceJoiner
 from repro.core.pipeline import DTTPipeline
 from repro.datagen.benchmarks.noise import inject_example_noise
+from repro.infer.engine import EngineStats
 from repro.metrics.edit_metrics import score_edits
 from repro.metrics.join_metrics import score_join
 from repro.metrics.report import DatasetReport, TableReport, average_reports
@@ -72,9 +73,27 @@ class DTTJoinerAdapter:
         predictions = self.pipeline.transform_column(sources, examples)
         results = self.pipeline.joiner.join(predictions, targets)
         # Execution counters ride along with the scores: the generation
-        # engine's scheduling stats and the join engine's batch /
-        # parallel-shard / cache stats, both from this table's run.
-        stats: dict = {"engine": asdict(self.pipeline.engine.last_stats)}
+        # engine's scheduling stats (totals across every model of the
+        # ensemble, plus the per-model breakdown) and the join engine's
+        # batch / parallel-shard / cache stats, all from this table's
+        # run.
+        per_model = self.pipeline._ensemble.last_run_stats
+        engine_stats = (
+            EngineStats.merged(per_model)
+            if per_model
+            else self.pipeline.engine.last_stats
+        )
+        stats: dict = {"engine": asdict(engine_stats)}
+        if len(per_model) > 1:
+            # A list, not a name-keyed dict: ensembling two instances
+            # of one model class (e.g. differently seeded DTTs) is
+            # legitimate, and duplicate names must not drop entries.
+            stats["engine_per_model"] = [
+                {"model": model.name, **asdict(model_stats)}
+                for model, model_stats in zip(
+                    self.pipeline.models, per_model, strict=True
+                )
+            ]
         join_stats = getattr(self.pipeline.joiner, "last_join_stats", None)
         if join_stats is not None:
             stats["join"] = join_stats.as_dict()

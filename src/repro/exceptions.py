@@ -45,3 +45,23 @@ class JoinError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment runner for invalid experiment specs."""
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer request failures."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Raised when the service's bounded request queue is full.
+
+    Backpressure, not a crash: the caller should retry with backoff or
+    shed the request — the server stays healthy either way.
+    """
+
+
+class ServiceClosedError(ServeError):
+    """Raised when a request reaches a service that has shut down."""
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline expires before execution starts."""

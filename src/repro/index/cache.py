@@ -34,6 +34,14 @@ process that misses in memory.  Writes are atomic (temp file +
 ``os.replace``), files carry a format-version stamp, and loads fall
 back to a rebuild on any corruption, so the disk tier can be shared by
 concurrent workers without coordination.
+
+The tier is **garbage collected**: with ``max_disk_bytes`` (or the
+``REPRO_INDEX_CACHE_MAX_BYTES`` environment variable for the default
+cache) and/or ``max_disk_age_seconds`` set, every snapshot write prunes
+the directory — age-expired files first, then least-recently-used files
+(by mtime; loads refresh it) until the tier fits the byte budget — so a
+long-lived serving deployment cycling through many target columns
+cannot fill the disk.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ import os
 import struct
 import tempfile
 import threading
+import time
 import zipfile
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -62,6 +71,10 @@ _ADAPTIVE = 0
 #: process-wide default cache (read lazily, on the first
 #: :func:`default_index_cache` call).
 CACHE_DIR_ENV = "REPRO_INDEX_CACHE_DIR"
+
+#: Environment variable bounding the on-disk tier's total bytes for the
+#: process-wide default cache (read alongside :data:`CACHE_DIR_ENV`).
+CACHE_MAX_BYTES_ENV = "REPRO_INDEX_CACHE_MAX_BYTES"
 
 #: Bump when the :meth:`QGramIndex.to_state` layout changes; files
 #: stamped with any other version are ignored and rebuilt in place.
@@ -118,6 +131,15 @@ class IndexCache:
             default) keeps the cache memory-only.  The process-wide
             default cache reads the ``REPRO_INDEX_CACHE_DIR``
             environment variable instead.
+        max_disk_bytes: Total-size bound for the on-disk tier; when the
+            ``qgram-*.npz`` snapshots exceed it, the least recently
+            used files (by mtime — loads refresh it) are deleted until
+            the tier fits.  ``None`` leaves the tier unbounded.  The
+            process-wide default cache reads the
+            ``REPRO_INDEX_CACHE_MAX_BYTES`` environment variable.
+        max_disk_age_seconds: Age bound for the on-disk tier; snapshots
+            whose mtime is older are deleted during garbage collection.
+            ``None`` (the default) disables the age bound.
     """
 
     def __init__(
@@ -125,14 +147,27 @@ class IndexCache:
         capacity: int = 8,
         max_bytes: int = 1 << 29,
         cache_dir: str | os.PathLike[str] | None = None,
+        max_disk_bytes: int | None = None,
+        max_disk_age_seconds: float | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_disk_bytes is not None and max_disk_bytes <= 0:
+            raise ValueError(
+                f"max_disk_bytes must be positive, got {max_disk_bytes}"
+            )
+        if max_disk_age_seconds is not None and max_disk_age_seconds <= 0:
+            raise ValueError(
+                "max_disk_age_seconds must be positive, got "
+                f"{max_disk_age_seconds}"
+            )
         self.capacity = capacity
         self.max_bytes = max_bytes
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_disk_bytes = max_disk_bytes
+        self.max_disk_age_seconds = max_disk_age_seconds
         self._entries: OrderedDict[CacheKey, QGramIndex] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
@@ -141,6 +176,7 @@ class IndexCache:
         self.evictions = 0
         self.disk_hits = 0
         self.disk_misses = 0
+        self.disk_evictions = 0
 
     def __len__(self) -> int:
         """Number of cached indexes."""
@@ -184,10 +220,18 @@ class IndexCache:
                     self.disk_hits += 1
                 else:
                     self.disk_misses += 1
+            if index is not None:
+                # Refresh the snapshot's mtime: disk GC evicts in LRU
+                # order, and a load is a use.
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
         if index is None:
             index = QGramIndex(key[1], q=resolved_q)
             if path is not None:
                 self._save_disk(path, index)
+                self._collect_disk_garbage(keep=path)
         with self._lock:
             if key not in self._entries:
                 self._entries[key] = index
@@ -259,6 +303,68 @@ class IndexCache:
                 except OSError:
                     pass
 
+    def _collect_disk_garbage(self, keep: Path) -> None:
+        """Age- and size-bound the on-disk tier, LRU by mtime.
+
+        Runs after every snapshot write (the only operation that grows
+        the tier).  Files older than ``max_disk_age_seconds`` are
+        deleted outright; if the survivors still exceed
+        ``max_disk_bytes``, the least recently used are deleted until
+        the tier fits.  ``keep`` — the snapshot just written — is never
+        deleted, so the cache always holds at least the current column
+        even under a budget smaller than one file.  Every filesystem
+        failure is swallowed: concurrent processes GC the same
+        directory without coordination, so files may vanish mid-scan,
+        and a cache must never be able to make a join fail.
+        """
+        if self.max_disk_bytes is None and self.max_disk_age_seconds is None:
+            return
+        assert self.cache_dir is not None
+        entries: list[tuple[float, int, Path]] = []
+        try:
+            candidates = list(self.cache_dir.glob("qgram-*.npz"))
+        except OSError:
+            return
+        for path in candidates:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest mtime first == least recently used
+        survivors: list[tuple[float, int, Path]] = []
+        now = time.time()
+        for mtime, size, path in entries:
+            if path == keep:
+                survivors.append((mtime, size, path))
+                continue
+            if (
+                self.max_disk_age_seconds is not None
+                and now - mtime > self.max_disk_age_seconds
+            ):
+                self._evict_disk(path)
+            else:
+                survivors.append((mtime, size, path))
+        if self.max_disk_bytes is None:
+            return
+        total = sum(size for _, size, _ in survivors)
+        for _, size, path in survivors:
+            if total <= self.max_disk_bytes:
+                break
+            if path == keep:
+                continue
+            self._evict_disk(path)
+            total -= size
+
+    def _evict_disk(self, path: Path) -> None:
+        """Delete one snapshot; missing or busy files are not an error."""
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        with self._lock:
+            self.disk_evictions += 1
+
     def clear(self) -> None:
         """Drop every cached index (counters are kept).
 
@@ -286,7 +392,16 @@ def default_index_cache() -> IndexCache:
     global _DEFAULT_CACHE
     with _DEFAULT_CACHE_LOCK:
         if _DEFAULT_CACHE is None:
+            max_disk = os.environ.get(CACHE_MAX_BYTES_ENV)
+            try:
+                max_disk_bytes = int(max_disk) if max_disk else None
+            except ValueError as error:
+                raise ValueError(
+                    f"{CACHE_MAX_BYTES_ENV}={max_disk!r} is not a valid "
+                    "byte count: expected a plain integer (e.g. 536870912)"
+                ) from error
             _DEFAULT_CACHE = IndexCache(
-                cache_dir=os.environ.get(CACHE_DIR_ENV) or None
+                cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
+                max_disk_bytes=max_disk_bytes,
             )
         return _DEFAULT_CACHE

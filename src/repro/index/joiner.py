@@ -27,9 +27,13 @@ Two batch layers amortize that work across a whole source column:
   on-disk tier shared across processes.
 
 Above a workload threshold (or at an explicit ``n_workers``),
-``join_many`` shards its buckets across a process pool
-(:mod:`repro.index.parallel`) with a deterministic merge; results are
-byte-identical to the serial engine in every configuration.
+``join_many`` shards its buckets across a **persistent** process pool
+(:mod:`repro.index.parallel`) with a deterministic merge; the pool —
+and each worker's resolved indexes — survive across calls, so repeated
+joins pay worker startup once.  Results are byte-identical to the
+serial engine in every configuration.  Long-lived owners should
+``close()`` the joiner (or use it as a context manager) to tear the
+pool down deterministically.
 
 :class:`AutoJoiner` picks the brute scan for small target columns (where
 index construction dominates) and the blocked engine above a row-count
@@ -51,7 +55,7 @@ from repro.index.kernel import edit_distance_codes, edit_distance_pairs, encode_
 from repro.index.qgram import QGramIndex
 
 if TYPE_CHECKING:
-    from repro.index.parallel import JoinStats
+    from repro.index.parallel import JoinStats, JoinWorkerPool
 
 
 class IndexedJoiner(EditDistanceJoiner):
@@ -131,6 +135,7 @@ class IndexedJoiner(EditDistanceJoiner):
         self.n_workers = n_workers
         self.parallel_threshold = parallel_threshold
         self.last_join_stats: JoinStats | None = None
+        self._pool: JoinWorkerPool | None = None
 
     def _index_for(self, targets: Sequence[str]) -> QGramIndex:
         return self.cache.get(targets, q=self.q)
@@ -142,6 +147,37 @@ class IndexedJoiner(EditDistanceJoiner):
         if pending >= self.parallel_threshold:
             return max(1, min(os.cpu_count() or 1, self._MAX_AUTO_WORKERS))
         return 1
+
+    def _ensure_pool(self, n_workers: int) -> JoinWorkerPool:
+        """Get the persistent worker pool, (re)building it on demand.
+
+        One pool lives across ``join_many`` calls — worker startup and
+        per-worker index resolution amortize over every batch the
+        joiner ever runs — and is replaced only when the resolved
+        worker count changes (auto mode crossing a threshold) or after
+        an explicit :meth:`close`.
+        """
+        from repro.index.parallel import JoinWorkerPool
+
+        pool = self._pool
+        if pool is not None and (pool.closed or pool.n_workers != n_workers):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = JoinWorkerPool(n_workers, self.cache, q=self.q)
+            self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if one was started).
+
+        The joiner remains usable — the next parallel batch simply
+        starts a fresh pool — so ``close()`` is safe to call from
+        teardown paths that might race a late caller.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _argmin(self, predicted: str, targets: Sequence[str]) -> tuple[str, int]:
         """Earliest-row argmin via the blocked index (same contract as brute).
@@ -184,7 +220,7 @@ class IndexedJoiner(EditDistanceJoiner):
             raise JoinError("cannot join into an empty target column")
         # Imported lazily: parallel imports this module for its
         # worker-side scoring, so a module-level import would cycle.
-        from repro.index.parallel import JoinStats, parallel_argmin_buckets
+        from repro.index.parallel import JoinStats
 
         cache_hits = self.cache.hits
         cache_misses = self.cache.misses
@@ -212,8 +248,8 @@ class IndexedJoiner(EditDistanceJoiner):
         pending = sum(len(bucket) for bucket in buckets.values())
         n_workers = self._resolve_workers(pending)
         if n_workers > 1 and pending:
-            argmins, pool_stats = parallel_argmin_buckets(
-                self, index, buckets, n_workers, targets
+            argmins, pool_stats = self._ensure_pool(n_workers).run_buckets(
+                index, buckets, targets
             )
             n_workers = pool_stats.workers
             shards = pool_stats.shards
@@ -672,6 +708,10 @@ class AutoJoiner(EditDistanceJoiner):
         self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0
     ) -> list[tuple[str, int]]:
         return self._delegate(targets).match_many(predicted, targets, lower, upper)
+
+    def close(self) -> None:
+        """Tear down the blocked delegate's persistent worker pool."""
+        self._indexed.close()
 
 
 def make_joiner(

@@ -1,20 +1,35 @@
 """Parallel sharded execution for the batched join.
 
-:func:`parallel_argmin_buckets` fans the length buckets of one
-:meth:`~repro.index.joiner.IndexedJoiner.join_many` call out across a
-:class:`~concurrent.futures.ProcessPoolExecutor` and merges the results
-deterministically.  The contract is the engine-wide one: **byte-identical
-results to the serial scan**, which the sharding preserves by
-construction —
+:class:`JoinWorkerPool` owns a :class:`~concurrent.futures.ProcessPoolExecutor`
+that **persists across** :meth:`~repro.index.joiner.IndexedJoiner.join_many`
+calls — the pool is created on the first parallel batch and reused until
+:meth:`JoinWorkerPool.close` (the serving layer closes it on shutdown;
+a garbage-collected joiner releases it through the executor's own
+finalization).  Each call fans its length buckets out across the pool
+and merges the results deterministically.  The contract is the
+engine-wide one: **byte-identical results to the serial scan**, which
+the sharding preserves by construction —
 
 * a bucket probe's argmin depends only on ``(index, length, probe)``,
   never on which other probes share the bucket, so buckets can split
   anywhere;
-* every worker scores against an equal-content index (loaded from the
-  on-disk cache tier, inherited through ``fork``, or rebuilt from the
-  shipped column — all three construct the identical structure); and
+* every worker scores against an equal-content index — resolved from
+  its own content-keyed cache (seeded with the parent's cache under the
+  ``fork`` start method, loaded from the shared on-disk tier, or
+  rebuilt from the column shipped with the shard; all three construct
+  the identical structure); and
 * the merge keys results by probe value, so completion order is
   irrelevant.
+
+Because the pool outlives any single call, shards are addressed by
+**column fingerprint**: a column's bytes ship with its shards only the
+first time the pool sees it, after which shards go fingerprint-only
+and resolve through each worker's fingerprint memo (a worker that
+still misses — freshly spawned, or its memo evicted the entry — raises
+for a one-shot resend with the column attached).  That is what makes
+reuse pay in a serving deployment: repeated joins against the same hot
+target columns stop paying worker startup, index resolution, *and*
+column serialization.
 
 Shards are planned by **candidate mass**, not probe count: a bucket's
 per-probe cost scales with how many targets sit within the near-length
@@ -25,7 +40,8 @@ suggest.  Workers return ``(value_id, distance)`` pairs as reduced
 index — so result pickling stays cheap even for very wide batches.
 
 Worker startup prefers the ``fork`` start method where the platform
-offers it: the parent's process-level index cache arrives by
+offers it and no other threads are alive (forking a multi-threaded
+process is a deadlock hazard): the parent's index cache arrives by
 copy-on-write, so workers usually begin scoring without building or
 loading anything.
 """
@@ -35,14 +51,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+from collections import OrderedDict
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.index.cache import IndexCache, default_index_cache
-from repro.index.joiner import IndexedJoiner
+from repro.index.cache import (
+    IndexCache,
+    column_fingerprint,
+    default_index_cache,
+)
 from repro.index.qgram import QGramIndex
 
 
@@ -57,17 +78,16 @@ class JoinStats:
         empty_probes: Unique probes that were abstentions (``""``).
         pending: Unique probes that went through bucketed scoring.
         buckets: Length buckets those probes formed.
-        n_workers: Worker processes the pool actually ran (capped by
-            the shard count; 1 = serial execution).
+        n_workers: Worker processes the pool could run for this call
+            (capped by the shard count; 1 = serial execution).
         shards: Bucket shards dispatched to the pool (0 when serial).
         shard_sizes: Probe count of each shard, in dispatch order.
         cache_hits: In-memory index-cache hits during the call.
         cache_misses: In-memory index-cache misses during the call.
         disk_hits: On-disk index-cache hits — the parent's plus those
-            reported by shard-executing workers (fork-started workers
-            inherit the parent's index and pay none; a fresh-start
-            worker that initialized but never drew a shard goes
-            unreported).
+            newly reported by shard-executing workers during this call
+            (fork-started workers inherit the parent's in-memory cache
+            and usually pay none).
         disk_misses: On-disk index-cache misses, same accounting;
             zero when no disk tier is configured.
     """
@@ -95,7 +115,7 @@ class JoinStats:
 
 @dataclass(frozen=True)
 class PoolStats:
-    """What the pool run itself can report back to ``join_many``."""
+    """What one pool run can report back to ``join_many``."""
 
     workers: int
     shards: int
@@ -109,18 +129,28 @@ class PoolStats:
 # the pool idle at the tail of the batch.
 _OVERSPLIT = 4
 
-# Worker-process state, set once per pool by :func:`_init_worker`.
-_WORKER_INDEX: QGramIndex | None = None
-_WORKER_SCORER: IndexedJoiner | None = None
-_WORKER_DISK: tuple[int, int] = (0, 0)
+# Worker-process state, set once per worker by :func:`_init_worker`.
+_WORKER_CACHE: IndexCache | None = None
+_WORKER_DISK_BASE: tuple[int, int] = (0, 0)
+# Fingerprint -> resolved index, so warm shards carry no column at all.
+_WORKER_INDEXES: OrderedDict[str, QGramIndex] = OrderedDict()
+_WORKER_INDEX_CAP = 8
 
-# Under the fork start method the parent's already-built index rides to
-# workers through this module global (copy-on-write, zero pickling and
-# zero rebuilding) instead of initargs; the parent sets it immediately
-# before pool creation and clears it after.  Spawn/forkserver pools
-# ship the column via initargs instead and resolve the index through
-# the cache hierarchy.
-_FORK_INDEX: QGramIndex | None = None
+
+class _ColumnNeeded(Exception):
+    """A worker lacks the index behind a column fingerprint.
+
+    Raised by :func:`_score_shard` when a shard arrives fingerprint-only
+    (the warm path) but this worker has never resolved that column — a
+    freshly spawned worker, or one whose small fingerprint memo evicted
+    it.  The parent catches it and resubmits the shard with the column
+    attached, so the protocol is self-healing at the cost of one extra
+    round trip on the cold path.
+    """
+
+    @property
+    def shard_id(self) -> int:
+        return self.args[0]
 
 
 def plan_shards(
@@ -135,6 +165,10 @@ def plan_shards(
     small buckets ship whole.  The plan is a pure function of the
     inputs, so parent and test harnesses can reproduce it exactly.
     """
+    # Imported lazily: joiner imports this module for the pool, so a
+    # module-level import here would cycle.
+    from repro.index.joiner import IndexedJoiner
+
     sorted_lengths = np.sort(index.lengths)
     window = IndexedJoiner._NEAR_LENGTHS
     entries: list[tuple[int, list[str], int]] = []
@@ -159,13 +193,13 @@ def plan_shards(
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Pick a start method: ``fork`` when it is safe, else a fresh start.
 
-    ``fork`` is preferred — cheap startup and the parent's index cache
-    (plus :data:`_FORK_COLUMN`) arrives copy-on-write — but forking a
-    multi-threaded process is a deadlock hazard: any lock held by
-    another thread at fork time (the index cache's own lock included)
-    stays held forever in the child.  With other threads alive, fall
-    back to ``forkserver``/``spawn``, which start workers from a clean
-    interpreter.
+    ``fork`` is preferred — cheap startup, and the parent's index cache
+    arrives copy-on-write — but forking a multi-threaded process is a
+    deadlock hazard: any lock held by another thread at fork time (the
+    index cache's own lock included) stays held forever in the child.
+    With other threads alive (the serving layer's scheduler, a caller's
+    thread pool), fall back to ``forkserver``/``spawn``, which start
+    workers from a clean interpreter.
     """
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods and threading.active_count() == 1:
@@ -176,120 +210,270 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def _init_worker(
-    targets: tuple[str, ...] | None,
-    q: int | None,
+    inherited_cache: IndexCache | None,
     cache_dir: str | None,
     use_default_cache: bool,
 ) -> None:
-    """Resolve this worker's index once, before any shard arrives.
+    """Set up this worker's index cache, once per worker process.
 
-    ``targets`` is ``None`` under the fork start method — the parent's
-    built index arrives directly through the inherited
-    :data:`_FORK_INDEX` (no pickling, no rebuild, no disk traffic).
-    Fresh-start pools get the pickled column instead and resolve
-    through the cache hierarchy: the on-disk tier under ``cache_dir``,
-    then a rebuild from the column.  All paths produce an equal-content
-    index, so the choice affects startup cost only.
+    Under the ``fork`` start method the parent's cache object rides in
+    directly (initargs are inherited memory, never pickled), so the
+    worker starts with every index the parent had already built.
+    Fresh-start workers build their own cache over the same on-disk
+    tier instead.  Either way the worker records its disk-counter
+    baseline so shards can report deltas attributable to pool work.
     """
-    global _WORKER_INDEX, _WORKER_SCORER, _WORKER_DISK
-    if targets is None:
-        assert _FORK_INDEX is not None, "forked worker missing its index"
-        _WORKER_INDEX = _FORK_INDEX
-        _WORKER_SCORER = IndexedJoiner(q=q, n_workers=1)
-        return
-    cache = (
-        default_index_cache()
-        if use_default_cache
-        else IndexCache(cache_dir=cache_dir)
-    )
-    disk_hits, disk_misses = cache.disk_hits, cache.disk_misses
-    _WORKER_INDEX = cache.get(targets, q=q)
-    _WORKER_DISK = (cache.disk_hits - disk_hits, cache.disk_misses - disk_misses)
-    _WORKER_SCORER = IndexedJoiner(q=q, cache=cache, n_workers=1)
+    global _WORKER_CACHE, _WORKER_DISK_BASE
+    if inherited_cache is not None:
+        _WORKER_CACHE = inherited_cache
+    elif use_default_cache:
+        _WORKER_CACHE = default_index_cache()
+    else:
+        _WORKER_CACHE = IndexCache(cache_dir=cache_dir)
+    _WORKER_DISK_BASE = (_WORKER_CACHE.disk_hits, _WORKER_CACHE.disk_misses)
 
 
 def _score_shard(
-    shard_id: int, length: int, probes: list[str]
+    shard_id: int,
+    length: int,
+    probes: list[str],
+    fingerprint: str,
+    column: tuple[str, ...] | None,
+    q: int | None,
 ) -> tuple[int, int, int, int, np.ndarray, np.ndarray]:
     """Score one shard; ship the results as reduced int32 arrays.
 
-    The payload carries value ids, not matched strings — the parent
-    owns an equal-content index and maps ids back — plus this worker's
-    pid and disk-tier counters so the parent can aggregate per-process
-    cache behaviour without double-counting shards.
+    Shards are addressed by column *fingerprint*: warm shards (the
+    persistent pool's steady state) carry no column bytes at all and
+    resolve through this worker's fingerprint memo; a miss with no
+    column attached raises :class:`_ColumnNeeded` so the parent can
+    resubmit with the column, which the worker then resolves through
+    its content-keyed cache (memory, disk tier, or rebuild).  The
+    payload carries value ids, not matched strings — the parent owns an
+    equal-content index and maps ids back — plus this worker's pid and
+    disk-tier counters (cumulative since worker start) so the parent
+    can aggregate per-process cache behaviour without double-counting
+    shards.
     """
-    assert _WORKER_INDEX is not None and _WORKER_SCORER is not None
-    argmin = _WORKER_SCORER._argmin_bucket(_WORKER_INDEX, length, probes)
+    # Imported lazily to break the joiner <-> parallel module cycle.
+    from repro.index.joiner import IndexedJoiner
+
+    cache = _WORKER_CACHE
+    assert cache is not None, "worker initialized without a cache"
+    index = _WORKER_INDEXES.get(fingerprint)
+    if index is None:
+        if column is None:
+            raise _ColumnNeeded(shard_id)
+        index = cache.get(column, q=q)
+        _WORKER_INDEXES[fingerprint] = index
+        while len(_WORKER_INDEXES) > _WORKER_INDEX_CAP:
+            _WORKER_INDEXES.popitem(last=False)
+    else:
+        _WORKER_INDEXES.move_to_end(fingerprint)
+    scorer = IndexedJoiner(q=q, cache=cache, n_workers=1)
+    argmin = scorer._argmin_bucket(index, length, probes)
     vids = np.fromiter(
         (argmin[probe][0] for probe in probes), dtype=np.int32, count=len(probes)
     )
     distances = np.fromiter(
         (argmin[probe][1] for probe in probes), dtype=np.int32, count=len(probes)
     )
-    return shard_id, os.getpid(), *_WORKER_DISK, vids, distances
+    disk_hits = cache.disk_hits - _WORKER_DISK_BASE[0]
+    disk_misses = cache.disk_misses - _WORKER_DISK_BASE[1]
+    return shard_id, os.getpid(), disk_hits, disk_misses, vids, distances
 
 
-def parallel_argmin_buckets(
-    joiner: IndexedJoiner,
-    index: QGramIndex,
-    buckets: dict[int, list[str]],
-    n_workers: int,
-    targets: Sequence[str],
-) -> tuple[dict[str, tuple[int, int]], PoolStats]:
-    """Run every bucket's argmin through a worker pool.
+class JoinWorkerPool:
+    """A process pool reused across ``join_many`` calls.
 
-    Returns the merged ``probe -> (winner_value_id, distance)`` mapping
-    — byte-identical to running
-    :meth:`IndexedJoiner._argmin_bucket` serially per bucket — plus the
-    pool counters for :class:`JoinStats`.
+    Args:
+        n_workers: Maximum worker processes (the executor spawns them
+            on demand, so a pool sized for peak load costs nothing
+            while idle).
+        cache: The owning joiner's index cache; under the ``fork``
+            start method it is inherited by workers copy-on-write, and
+            its ``cache_dir`` names the on-disk tier fresh-start
+            workers share.
+        q: Gram size the owning joiner resolves indexes at (``None`` =
+            adaptive), forwarded to workers with every shard.
+
+    The pool is not itself thread-safe — it executes one ``join_many``
+    at a time, which is how :class:`~repro.index.joiner.IndexedJoiner`
+    drives it (the serving layer serializes joins through its batch
+    executor).  ``close()`` is idempotent; a closed pool refuses new
+    work.
     """
-    shards = plan_shards(index, buckets, n_workers)
-    if not shards:
-        return {}, PoolStats(0, 0, (), 0, 0)
-    cache = joiner.cache
-    use_default_cache = cache is default_index_cache()
-    cache_dir = str(cache.cache_dir) if cache.cache_dir is not None else None
-    context = _pool_context()
-    pool_workers = min(n_workers, len(shards))
-    if context.get_start_method() == "fork":
-        # Workers fork during the submit loop below and inherit the
-        # parent's built index copy-on-write; ship a sentinel instead
-        # of pickling the column into every worker and rebuilding.
-        global _FORK_INDEX
-        _FORK_INDEX = index
-        shipped_column = None
-    else:
-        shipped_column = tuple(targets)
-    argmins: dict[str, tuple[int, int]] = {}
-    worker_disk: dict[int, tuple[int, int]] = {}
-    try:
-        with ProcessPoolExecutor(
-            max_workers=pool_workers,
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(shipped_column, joiner.q, cache_dir, use_default_cache),
-        ) as pool:
-            futures = [
-                pool.submit(_score_shard, shard_id, length, probes)
-                for shard_id, (length, probes) in enumerate(shards)
-            ]
-            for future in futures:
-                shard_id, pid, disk_hits, disk_misses, vids, distances = (
-                    future.result()
+
+    def __init__(
+        self, n_workers: int, cache: IndexCache, q: int | None = None
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.q = q
+        self._cache = cache
+        self._executor: ProcessPoolExecutor | None = None
+        self._fork_started = False
+        self._closed = False
+        # Per-pid cumulative disk counters already credited to earlier
+        # calls, so each call reports only its own delta.
+        self._credited_disk: dict[int, tuple[int, int]] = {}
+        # Column fingerprints whose columns have already been shipped to
+        # this executor's workers (warm shards go fingerprint-only).
+        self._shipped_fps: set[str] = set()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if (
+            self._executor is not None
+            and self._fork_started
+            and threading.active_count() > 1
+        ):
+            # The fork decision was made while single-threaded, but the
+            # executor forks workers lazily at submit time — doing that
+            # now, with other threads alive, risks inheriting a held
+            # lock forever.  Rebuild from a fresh-start context before
+            # accepting more work (the per-call re-check PR4's one-shot
+            # pools performed implicitly).
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            context = _pool_context()
+            self._fork_started = context.get_start_method() == "fork"
+            self._credited_disk.clear()
+            self._shipped_fps.clear()
+            if self._fork_started:
+                # Initargs are inherited through fork, not pickled, so
+                # the cache object (locks and all) rides in directly.
+                initargs = (self._cache, None, False)
+            else:
+                cache_dir = (
+                    str(self._cache.cache_dir)
+                    if self._cache.cache_dir is not None
+                    else None
                 )
-                _, probes = shards[shard_id]
-                for probe, vid, distance in zip(
-                    probes, vids.tolist(), distances.tolist(), strict=True
-                ):
-                    argmins[probe] = (vid, distance)
-                worker_disk[pid] = (disk_hits, disk_misses)
-    finally:
-        if shipped_column is None:
-            _FORK_INDEX = None
-    return argmins, PoolStats(
-        workers=pool_workers,
-        shards=len(shards),
-        shard_sizes=tuple(len(probes) for _, probes in shards),
-        disk_hits=sum(hits for hits, _ in worker_disk.values()),
-        disk_misses=sum(misses for _, misses in worker_disk.values()),
-    )
+                initargs = (
+                    None,
+                    cache_dir,
+                    self._cache is default_index_cache(),
+                )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=initargs,
+            )
+        return self._executor
+
+    def run_buckets(
+        self,
+        index: QGramIndex,
+        buckets: dict[int, list[str]],
+        targets: Sequence[str],
+    ) -> tuple[dict[str, tuple[int, int]], PoolStats]:
+        """Run every bucket's argmin through the pool.
+
+        Returns the merged ``probe -> (winner_value_id, distance)``
+        mapping — byte-identical to running
+        :meth:`IndexedJoiner._argmin_bucket` serially per bucket — plus
+        the pool counters for :class:`JoinStats`.
+        """
+        shards = plan_shards(index, buckets, self.n_workers)
+        if not shards:
+            return {}, PoolStats(0, 0, (), 0, 0)
+        try:
+            return self._run_shards(index, shards, targets)
+        except BrokenProcessPool:
+            # A killed worker (OOM, signal) breaks the executor for
+            # good.  Fail this call, but discard the executor so the
+            # next call starts a fresh one — a crash costs one batch,
+            # exactly as it did with per-call pools.
+            self._discard_executor()
+            raise
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def _run_shards(
+        self,
+        index: QGramIndex,
+        shards: list[tuple[int, list[str]]],
+        targets: Sequence[str],
+    ) -> tuple[dict[str, tuple[int, int]], PoolStats]:
+        executor = self._ensure_executor()
+        column = tuple(targets)
+        fingerprint = column_fingerprint(column, index.q)
+        # First sighting of a column ships its bytes with every shard;
+        # after that, shards go fingerprint-only and a worker that
+        # still misses (fresh process, evicted memo) asks for a resend.
+        shipped = None if fingerprint in self._shipped_fps else column
+        self._shipped_fps.add(fingerprint)
+        futures = [
+            executor.submit(
+                _score_shard,
+                shard_id,
+                length,
+                probes,
+                fingerprint,
+                shipped,
+                self.q,
+            )
+            for shard_id, (length, probes) in enumerate(shards)
+        ]
+        argmins: dict[str, tuple[int, int]] = {}
+        worker_disk: dict[int, tuple[int, int]] = {}
+        for future in futures:
+            try:
+                result = future.result()
+            except _ColumnNeeded as missing:
+                length, probes = shards[missing.shard_id]
+                result = executor.submit(
+                    _score_shard,
+                    missing.shard_id,
+                    length,
+                    probes,
+                    fingerprint,
+                    column,
+                    self.q,
+                ).result()
+            shard_id, pid, disk_hits, disk_misses, vids, distances = result
+            _, probes = shards[shard_id]
+            for probe, vid, distance in zip(
+                probes, vids.tolist(), distances.tolist(), strict=True
+            ):
+                argmins[probe] = (vid, distance)
+            worker_disk[pid] = (disk_hits, disk_misses)
+        call_hits = 0
+        call_misses = 0
+        for pid, (disk_hits, disk_misses) in worker_disk.items():
+            seen_hits, seen_misses = self._credited_disk.get(pid, (0, 0))
+            call_hits += disk_hits - seen_hits
+            call_misses += disk_misses - seen_misses
+            self._credited_disk[pid] = (disk_hits, disk_misses)
+        return argmins, PoolStats(
+            workers=min(self.n_workers, len(shards)),
+            shards=len(shards),
+            shard_sizes=tuple(len(probes) for _, probes in shards),
+            disk_hits=call_hits,
+            disk_misses=call_misses,
+        )
+
+    def close(self) -> None:
+        """Shut the executor down; idempotent."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> JoinWorkerPool:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -59,6 +59,18 @@ class EngineStats:
     steps: int = 0
     row_steps: int = 0
 
+    @classmethod
+    def merged(cls, stats: Sequence[EngineStats]) -> EngineStats:
+        """Sum counters across jobs (an ensemble pass, a serve batch)."""
+        total = cls()
+        for item in stats:
+            total.prompts += item.prompts
+            total.decoded_rows += item.decoded_rows
+            total.chunks += item.chunks
+            total.steps += item.steps
+            total.row_steps += item.row_steps
+        return total
+
 
 @dataclass
 class _Workload:
@@ -131,6 +143,29 @@ class GenerationEngine:
         """
         return [self.generate(model, prompts) for model, prompts in jobs]
 
+    def run_with_stats(
+        self, jobs: Sequence[tuple[SequenceModel, Sequence[str]]]
+    ) -> tuple[list[list[str]], list[EngineStats]]:
+        """Like :meth:`run`, returning per-job stats alongside the outputs.
+
+        Unlike :meth:`run`/:meth:`generate` — which publish counters
+        through the shared :attr:`last_stats` slot — this entry point
+        hands each job's :class:`EngineStats` straight back to the
+        caller, so concurrent schedulers (the serving layer's batch
+        executor, an eval run on another thread) never read each
+        other's counters.  The engine holds no per-call mutable state
+        beyond ``last_stats``, which this method does not touch, making
+        it safe to re-enter from multiple threads with externally
+        composed batches.
+        """
+        outputs: list[list[str]] = []
+        stats: list[EngineStats] = []
+        for model, prompts in jobs:
+            job_outputs, job_stats = self.generate_with_stats(model, prompts)
+            outputs.append(job_outputs)
+            stats.append(job_stats)
+        return outputs, stats
+
     def generate(
         self, model: SequenceModel, prompts: Sequence[str]
     ) -> list[str]:
@@ -142,17 +177,32 @@ class GenerationEngine:
         sampling engine on one ensemble member) is delegated to it —
         the most specific engine wins.
         """
+        outputs, stats = self.generate_with_stats(model, prompts)
+        self.last_stats = stats
+        return outputs
+
+    def generate_with_stats(
+        self, model: SequenceModel, prompts: Sequence[str]
+    ) -> tuple[list[str], EngineStats]:
+        """:meth:`generate` without publishing to :attr:`last_stats`.
+
+        The re-entrant core of the engine: a pure function of
+        ``(engine config, model, prompts)`` with no shared mutable
+        state, so external schedulers can run it concurrently.
+        """
         prompts = list(prompts)
         if not prompts:
-            return []
+            return [], EngineStats()
         own_engine = getattr(model, "engine", None)
         if isinstance(own_engine, GenerationEngine) and own_engine is not self:
-            outputs = own_engine.generate(model, prompts)
-            self.last_stats = own_engine.last_stats
-            return outputs
+            outputs, stats = own_engine.generate_with_stats(model, prompts)
+            # The most specific engine wins, and it also publishes the
+            # counters — a model-owned engine is that model's private
+            # scheduler, never shared across threads.
+            own_engine.last_stats = stats
+            return outputs, stats
         if not isinstance(model, IncrementalSequenceModel):
-            self.last_stats = EngineStats(prompts=len(prompts))
-            return model.generate(prompts)
+            return model.generate(prompts), EngineStats(prompts=len(prompts))
 
         token_ids = model.tokenize_prompts(prompts)
         workloads = self._collect(token_ids)
@@ -171,9 +221,8 @@ class GenerationEngine:
             for workload, text in zip(chunk, outputs, strict=True):
                 for row in workload.rows:
                     results[row] = text
-        self.last_stats = stats
         assert all(text is not None for text in results)
-        return results  # type: ignore[return-value]
+        return results, stats  # type: ignore[return-value]
 
     # -- planning ----------------------------------------------------------
 

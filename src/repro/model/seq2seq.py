@@ -14,6 +14,7 @@ baseline.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -77,6 +78,25 @@ class ByteSeq2SeqModel:
     @property
     def name(self) -> str:
         return "ByteSeq2Seq"
+
+    def fingerprint(self) -> str:
+        """Content fingerprint: architecture config plus current weights.
+
+        Hashes every parameter's name, shape, and bytes, so two models
+        agree exactly when (and only when) they would generate the same
+        outputs.  Recomputed on every call — training mutates weights in
+        place, so the fingerprint must never be cached here; callers
+        that memoize on it (the serving layer) snapshot it at service
+        construction.
+        """
+        digest = hashlib.sha256()
+        digest.update(b"repro.byteseq2seq")
+        digest.update(repr(self.config).encode("utf-8"))
+        for parameter in self.network.parameters():
+            digest.update(parameter.name.encode("utf-8"))
+            digest.update(repr(parameter.value.shape).encode("utf-8"))
+            digest.update(np.ascontiguousarray(parameter.value).tobytes())
+        return digest.hexdigest()
 
     # -- training -----------------------------------------------------------
 

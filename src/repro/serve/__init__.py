@@ -1,0 +1,26 @@
+"""The serving layer: a long-lived transform-join service.
+
+Every other entry point in the repository is a one-shot library call;
+this package amortizes work *across* callers.  A
+:class:`TransformService` wraps one :class:`~repro.core.pipeline.DTTPipeline`
+behind a dynamic micro-batching scheduler (concurrent requests coalesce
+into single engine and join passes, byte-identical to direct calls), a
+content-fingerprinted :class:`ResultCache` (TTL + LRU + byte-bounded
+memoization of transform results), and full request lifecycle machinery
+(futures, deadlines, cancellation, bounded-queue backpressure).
+:mod:`repro.serve.http` puts a dependency-free JSON front end over it —
+``python -m repro.serve`` starts a server.
+"""
+
+from repro.serve.cache import ResultCache, examples_fingerprint
+from repro.serve.http import serve_http, start_http_server
+from repro.serve.service import ServeStats, TransformService
+
+__all__ = [
+    "ResultCache",
+    "ServeStats",
+    "TransformService",
+    "examples_fingerprint",
+    "serve_http",
+    "start_http_server",
+]

@@ -1,0 +1,106 @@
+"""``python -m repro.serve`` — start the transform-join HTTP service.
+
+Builds a pipeline (the deterministic pretrained stand-in by default, or
+the DTT+GPT3 ensemble), wraps it in a micro-batching
+:class:`~repro.serve.service.TransformService`, and serves the JSON API
+of :mod:`repro.serve.http` in the foreground.
+
+Example session::
+
+    $ python -m repro.serve --port 8080 &
+    $ curl -s localhost:8080/v1/join -d '{
+        "sources": ["Jean Chretien"],
+        "targets": ["jchretien", "kcampbell"],
+        "examples": [["Justin Trudeau", "jtrudeau"],
+                     ["Stephen Harper", "sharper"],
+                     ["Paul Martin", "pmartin"]]}'
+    $ curl -s localhost:8080/v1/stats
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.pipeline import DTTPipeline
+from repro.serve.cache import ResultCache
+from repro.serve.http import serve_http
+from repro.serve.service import TransformService
+from repro.surrogate import GPT3Surrogate, PretrainedDTT
+
+
+def build_service(args: argparse.Namespace) -> TransformService:
+    """Construct the pipeline and service from parsed CLI options."""
+    if args.model == "ensemble":
+        model = [PretrainedDTT(seed=args.seed), GPT3Surrogate(seed=args.seed)]
+    else:
+        model = PretrainedDTT(seed=args.seed)
+    pipeline = DTTPipeline(
+        model,
+        context_size=args.context_size,
+        n_trials=args.n_trials,
+        seed=args.seed,
+    )
+    cache = ResultCache(
+        max_entries=args.cache_max_entries,
+        ttl_seconds=args.cache_ttl_s,
+    )
+    return TransformService(
+        pipeline,
+        max_wait_ms=args.max_wait_ms,
+        max_batch_rows=args.max_batch_rows,
+        max_queue=args.max_queue,
+        default_timeout=args.default_timeout_s,
+        result_cache=cache,
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--model",
+        choices=("pretrained", "ensemble"),
+        default="pretrained",
+        help="pretrained = the DTT stand-in; ensemble adds the GPT-3 surrogate",
+    )
+    parser.add_argument("--context-size", type=int, default=2)
+    parser.add_argument("--n-trials", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window: how long the first request of a "
+        "batch waits for company",
+    )
+    parser.add_argument("--max-batch-rows", type=int, default=256)
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="pending-request bound; beyond it submits get HTTP 429",
+    )
+    parser.add_argument(
+        "--default-timeout-s",
+        type=float,
+        default=None,
+        help="per-request deadline when the client sends none",
+    )
+    parser.add_argument("--cache-max-entries", type=int, default=4096)
+    parser.add_argument(
+        "--cache-ttl-s",
+        type=float,
+        default=None,
+        help="result-cache entry lifetime (default: no expiry)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    service = build_service(args)
+    serve_http(service, args.host, args.port, verbose=not args.quiet)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""The memoized transform-result cache behind the serving layer.
+
+:class:`ResultCache` is a thread-safe TTL + LRU map from content
+fingerprints to finished transform results.  Keys are built by the
+service from the **pipeline fingerprint** (models + weights + decoding
+configuration), the **example-pool fingerprint**, and the value being
+transformed (plus its row position, whose context sampling it pins), so
+a hit is guaranteed to be byte-identical to recomputing — the cache can
+change latency, never answers.  Entries are bounded three ways:
+
+* **count** (``max_entries``) and **bytes** (``max_bytes``) — LRU
+  eviction beyond either bound, with the newest entry always kept;
+* **time** (``ttl_seconds``) — entries older than the TTL are treated
+  as misses and dropped on access (and swept opportunistically), so a
+  service whose model is retrained or whose upstream data drifts can
+  bound staleness even though fingerprints already catch any *visible*
+  configuration change.
+
+Hit / miss / eviction / expiry counters feed the service's
+:class:`~repro.serve.service.ServeStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.types import ExamplePair, Prediction
+
+#: A cache key: an opaque tuple of fingerprint strings and positions.
+CacheKey = tuple[object, ...]
+
+
+def examples_fingerprint(examples: Sequence[ExamplePair]) -> str:
+    """Content fingerprint of an example pool.
+
+    Length-prefixed UTF-8 over every (source, target) pair, order
+    included — context sampling draws by position, so reordering the
+    pool changes the sampled contexts and must change the key.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro.serve.examples")
+    for pair in examples:
+        for text in (pair.source, pair.target):
+            blob = text.encode("utf-8", "surrogatepass")
+            digest.update(len(blob).to_bytes(8, "little"))
+            digest.update(blob)
+    return digest.hexdigest()
+
+
+def _prediction_nbytes(prediction: Prediction) -> int:
+    """Rough retained size of one prediction (UTF-8-ish accounting)."""
+    return (
+        len(prediction.source)
+        + len(prediction.value)
+        + sum(len(c) for c in prediction.candidates)
+        + 64  # object overhead
+    )
+
+
+@dataclass
+class _Entry:
+    predictions: tuple[Prediction, ...]
+    nbytes: int
+    stored_at: float
+
+
+class ResultCache:
+    """TTL + LRU + byte-bounded map of finished transform results.
+
+    Args:
+        max_entries: Maximum cached results.
+        max_bytes: Maximum total retained bytes across entries
+            (estimated from the strings held).
+        ttl_seconds: Entry lifetime; ``None`` disables expiry.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        max_bytes: int = 64 << 20,
+        ttl_seconds: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes retained across all entries."""
+        return self._bytes
+
+    def get(self, key: CacheKey) -> tuple[Prediction, ...] | None:
+        """Return the cached result for ``key``, or ``None``.
+
+        An entry past its TTL counts as a miss (and an expiry) and is
+        dropped; a live hit moves the entry to most-recently-used.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if (
+                self.ttl_seconds is not None
+                and now - entry.stored_at > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self._bytes -= entry.nbytes
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry.predictions
+
+    def put(self, key: CacheKey, predictions: Iterable[Prediction]) -> None:
+        """Store one result, evicting LRU entries beyond the bounds."""
+        stored = tuple(predictions)
+        nbytes = sum(_prediction_nbytes(p) for p in stored)
+        now = self._clock()
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(stored, nbytes, now)
+            self._bytes += nbytes
+            while len(self._entries) > 1 and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+
+    def sweep(self) -> int:
+        """Drop every expired entry now; returns how many were dropped.
+
+        The service calls this between batches so a long-idle cache
+        does not hold expired entries' memory until they happen to be
+        probed.
+        """
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if now - entry.stored_at > self.ttl_seconds:
+                    del self._entries[key]
+                    self._bytes -= entry.nbytes
+                    self.expirations += 1
+                    dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

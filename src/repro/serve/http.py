@@ -1,0 +1,244 @@
+"""A stdlib JSON/HTTP front end over :class:`TransformService`.
+
+Deliberately dependency-free (``http.server`` + ``json``): the point is
+that the serving subsystem is drivable end-to-end — start a server,
+``curl`` a transform or join, read the stats — without installing
+anything.  The threading server gives each connection its own thread,
+and those threads are exactly the concurrent clients the service's
+micro-batching scheduler coalesces.
+
+Endpoints (all bodies JSON):
+
+* ``POST /v1/transform`` — ``{"sources": [...], "examples": [[s, t],
+  ...], "timeout_s": 30.0?}`` → ``{"predictions": [{"source", "value",
+  "votes", "candidates"}]}``
+* ``POST /v1/join`` — transform body plus ``"targets": [...]`` →
+  ``{"results": [{"source", "predicted", "matched", "distance"}]}``
+* ``GET /v1/stats`` — the service's :class:`ServeStats` snapshot.
+* ``GET /healthz`` — liveness.
+
+Error mapping: malformed requests → 400, queue backpressure → 429,
+expired deadlines → 504, a closed service → 503.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.service import TransformService
+from repro.types import ExamplePair
+
+_MAX_BODY_BYTES = 16 << 20
+
+
+class _BadRequest(ValueError):
+    """Client-side request shape error (mapped to 400)."""
+
+
+def _string_list(payload: dict, field: str) -> list[str]:
+    values = payload.get(field)
+    if not isinstance(values, list) or not all(
+        isinstance(v, str) for v in values
+    ):
+        raise _BadRequest(f"{field!r} must be a list of strings")
+    return values
+
+
+def _example_pairs(payload: dict) -> list[ExamplePair]:
+    raw = payload.get("examples")
+    if not isinstance(raw, list):
+        raise _BadRequest("'examples' must be a list of [source, target] pairs")
+    pairs: list[ExamplePair] = []
+    for item in raw:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not all(isinstance(part, str) for part in item)
+        ):
+            raise _BadRequest(
+                "'examples' must be a list of [source, target] string pairs"
+            )
+        pairs.append(ExamplePair(item[0], item[1]))
+    return pairs
+
+
+def _timeout(payload: dict) -> float | None:
+    timeout = payload.get("timeout_s")
+    if timeout is None:
+        return None
+    if not isinstance(timeout, (int, float)) or timeout <= 0:
+        raise _BadRequest("'timeout_s' must be a positive number")
+    return float(timeout)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Maps the JSON API onto the owning server's ``service``."""
+
+    server: TransformServiceServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("request body required")
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest("request body too large")
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    # -- endpoints --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's contract
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": not self.server.service.closed})
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.server.service.stats().as_dict())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server's contract
+        try:
+            payload = self._read_json()
+            if self.path == "/v1/transform":
+                self._handle_transform(payload)
+            elif self.path == "/v1/join":
+                self._handle_join(payload)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except _BadRequest as error:
+            self._send_json(400, {"error": str(error)})
+        except ServiceOverloadedError as error:
+            self._send_json(429, {"error": str(error)})
+        except DeadlineExceededError as error:
+            self._send_json(504, {"error": str(error)})
+        except ServiceClosedError as error:
+            self._send_json(503, {"error": str(error)})
+        except ReproError as error:
+            # Library-level rejection of a well-formed HTTP request
+            # (empty example pool, empty target column, ...).
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:
+            # Anything else (a failing model inside the batch, a bug):
+            # the client must still get a status line, not a dropped
+            # keep-alive connection.
+            self._send_json(500, {"error": f"internal error: {error}"})
+
+    def _handle_transform(self, payload: dict) -> None:
+        predictions = self.server.service.transform(
+            _string_list(payload, "sources"),
+            _example_pairs(payload),
+            timeout=_timeout(payload),
+        )
+        self._send_json(
+            200,
+            {
+                "predictions": [
+                    {
+                        "source": p.source,
+                        "value": p.value,
+                        "votes": p.votes,
+                        "candidates": list(p.candidates),
+                    }
+                    for p in predictions
+                ]
+            },
+        )
+
+    def _handle_join(self, payload: dict) -> None:
+        results = self.server.service.join(
+            _string_list(payload, "sources"),
+            _string_list(payload, "targets"),
+            _example_pairs(payload),
+            timeout=_timeout(payload),
+        )
+        self._send_json(
+            200,
+            {
+                "results": [
+                    {
+                        "source": r.source,
+                        "predicted": r.predicted,
+                        "matched": r.matched,
+                        "distance": r.distance,
+                    }
+                    for r in results
+                ]
+            },
+        )
+
+
+class TransformServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`TransformService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: TransformService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def start_http_server(
+    service: TransformService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> TransformServiceServer:
+    """Bind and return a server (port 0 picks a free one); not yet serving.
+
+    The caller drives ``serve_forever`` — usually on a thread for tests
+    and examples (``server.server_address`` reports the bound port), or
+    via :func:`serve_http` for a foreground process.
+    """
+    return TransformServiceServer((host, port), service, verbose=verbose)
+
+
+def serve_http(
+    service: TransformService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = True,
+) -> None:
+    """Serve in the foreground until interrupted, then shut down cleanly."""
+    server = start_http_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

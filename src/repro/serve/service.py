@@ -1,0 +1,635 @@
+"""The long-lived transform-join service with cross-request micro-batching.
+
+:class:`TransformService` turns the one-shot :class:`~repro.core.pipeline.
+DTTPipeline` into a serving subsystem: concurrent callers submit
+``transform`` / ``join`` requests, and a scheduler thread coalesces
+every request that arrives within a ``max_wait_ms`` window (or up to
+``max_batch_rows`` source rows) into **one** execution — a single
+scheduled :meth:`~repro.infer.engine.GenerationEngine.run_with_stats`
+pass over all requests' prompts, and a single
+:meth:`~repro.core.joiner.EditDistanceJoiner.join_many` per distinct
+target column.  Under load, p50 latency stays near the single-request
+cost while throughput scales with concurrency, because the engine's
+micro-batches vectorize across requests and the join amortizes its
+index work across every probe of the batch.
+
+**Byte-equivalence.**  Service results are byte-identical to calling
+the pipeline directly, whatever the interleaving:
+
+* The per-request stages (context decomposition, serialization,
+  aggregation) run exactly as ``transform_column`` runs them — context
+  sampling is keyed on the row position, never on what else shares the
+  batch.
+* Incremental models (the KV-cached transformer) decode each unique
+  prompt as a pure function of the prompt in greedy mode, so their
+  prompts are pooled across requests into one engine job.
+* Occurrence-dependent models (the surrogates draw fresh corruption
+  samples for repeated prompts *within one call*) get one engine job
+  per request, preserving their per-call semantics exactly.
+
+The same determinism is what makes the **result cache** sound: when
+every model is incremental, results memoize per ``(pipeline
+fingerprint, example-pool fingerprint, row position, value)``; with an
+occurrence-dependent model in the ensemble, rows of one request are not
+independent, so memoization coarsens to whole-request keys.  Either
+way a hit returns exactly what recomputation would.
+
+Request lifecycle: every submit returns a
+:class:`concurrent.futures.Future` (cancellable until its batch
+starts), carries an optional deadline (expired requests fail with
+:class:`~repro.exceptions.DeadlineExceededError` instead of wasting a
+batch slot), and passes through a bounded queue —
+:class:`~repro.exceptions.ServiceOverloadedError` is backpressure, not
+a crash.  :meth:`TransformService.close` drains everything already
+queued, then stops the scheduler and tears down the join engine's
+persistent worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass
+from typing import Literal
+
+from repro.core.interface import IncrementalSequenceModel
+from repro.core.pipeline import DTTPipeline
+from repro.core.serializer import SubTask
+from repro.exceptions import (
+    DeadlineExceededError,
+    JoinError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.infer.engine import EngineStats, GenerationEngine
+from repro.serve.cache import ResultCache, examples_fingerprint
+from repro.types import ExamplePair, JoinResult, Prediction
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """A snapshot of the service's counters (see :meth:`TransformService.stats`).
+
+    Attributes:
+        requests: Requests accepted (rejected submits excluded).
+        transform_requests: Accepted ``transform`` requests.
+        join_requests: Accepted ``join`` requests.
+        rows: Source rows across accepted requests.
+        joined_rows: Probe rows joined into target columns.
+        batches: Micro-batches executed.
+        batched_requests: Requests that reached execution (so
+            ``batched_requests / batches`` is the realized coalescing
+            factor).
+        rejected: Submits refused with ``ServiceOverloadedError``.
+        cancelled: Requests cancelled before their batch started.
+        deadline_expired: Requests whose deadline passed before
+            execution.
+        failed: Requests failed by an execution error.
+        cache_hits: Result-cache hits (rows or whole requests,
+            depending on the caching granularity).
+        cache_misses: Result-cache misses.
+        cache_evictions: Result-cache LRU/byte-bound evictions.
+        cache_expirations: Result-cache TTL expirations.
+        cache_entries: Entries currently cached.
+        cache_bytes: Approximate bytes currently cached.
+        engine_prompts: Prompts handed to the generation engine.
+        engine_decoded_rows: Unique rows the engine actually decoded.
+        engine_steps: Decode steps across all micro-batches.
+    """
+
+    requests: int = 0
+    transform_requests: int = 0
+    join_requests: int = 0
+    rows: int = 0
+    joined_rows: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    deadline_expired: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_expirations: int = 0
+    cache_entries: int = 0
+    cache_bytes: int = 0
+    engine_prompts: int = 0
+    engine_decoded_rows: int = 0
+    engine_steps: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dict form."""
+        return asdict(self)
+
+
+@dataclass
+class _Counters:
+    """The mutable counters behind :class:`ServeStats`."""
+
+    requests: int = 0
+    transform_requests: int = 0
+    join_requests: int = 0
+    rows: int = 0
+    joined_rows: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    deadline_expired: int = 0
+    failed: int = 0
+    engine_prompts: int = 0
+    engine_decoded_rows: int = 0
+    engine_steps: int = 0
+
+
+class _Request:
+    """One queued request and its delivery future."""
+
+    __slots__ = (
+        "kind",
+        "sources",
+        "examples",
+        "targets",
+        "future",
+        "deadline",
+    )
+
+    def __init__(
+        self,
+        kind: Literal["transform", "join"],
+        sources: tuple[str, ...],
+        examples: tuple[ExamplePair, ...],
+        targets: tuple[str, ...] | None,
+        deadline: float | None,
+    ) -> None:
+        self.kind = kind
+        self.sources = sources
+        self.examples = examples
+        self.targets = targets
+        self.future: Future = Future()
+        self.deadline = deadline
+
+
+class _Plan:
+    """Per-request execution state inside one micro-batch."""
+
+    __slots__ = ("request", "predictions", "subtasks", "prompts", "cache_keys")
+
+    def __init__(self, request: _Request) -> None:
+        self.request = request
+        #: Per-row predictions; cache hits pre-filled, the rest ``None``.
+        self.predictions: list[Prediction | None] = [None] * len(
+            request.sources
+        )
+        self.subtasks: list[SubTask] = []
+        self.prompts: list[str] = []
+        #: Row-granular cache keys (row-cacheable pipelines only).
+        self.cache_keys: list[tuple] | None = None
+
+
+class TransformService:
+    """Thread-safe serving front of one :class:`DTTPipeline`.
+
+    Args:
+        pipeline: The pipeline to serve.  The service owns it: nothing
+            else may call it while the service is live (all execution
+            is serialized on the scheduler thread).  Its engine — and
+            any model-owned engine — must be greedy: coalescing and
+            memoization both rely on deterministic decoding.
+        max_wait_ms: How long the scheduler holds the first request of
+            a batch open for more arrivals.  ``0`` still coalesces
+            whatever is already queued.
+        max_batch_rows: Source-row cap per micro-batch.
+        max_queue: Pending-request bound; submits beyond it fail fast
+            with :class:`ServiceOverloadedError`.
+        default_timeout: Default per-request deadline in seconds
+            (``None`` = no deadline unless the caller passes one).
+        result_cache: The memoized result cache; ``None`` builds a
+            default :class:`ResultCache`.  Pass a cache with
+            ``ttl_seconds`` to bound staleness.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        pipeline: DTTPipeline,
+        max_wait_ms: float = 2.0,
+        max_batch_rows: int = 256,
+        max_queue: int = 256,
+        default_timeout: float | None = None,
+        result_cache: ResultCache | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_batch_rows < 1:
+            raise ValueError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}"
+            )
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._require_greedy(pipeline)
+        self.pipeline = pipeline
+        self.max_wait_ms = max_wait_ms
+        self.max_batch_rows = max_batch_rows
+        self.max_queue = max_queue
+        self.default_timeout = default_timeout
+        # Explicit None check: an empty ResultCache is len() == 0 and
+        # therefore falsy, so ``or`` would silently discard it.
+        self.result_cache = (
+            result_cache if result_cache is not None else ResultCache()
+        )
+        self._clock = clock
+        #: Snapshot of the pipeline's content fingerprint; models must
+        #: not be retrained while the service is live (build a new
+        #: service after training — the fingerprint covers weights).
+        self.model_fingerprint = pipeline.fingerprint()
+        #: Row-granular memoization is exact only when every model's
+        #: outputs are a pure per-prompt function; the surrogates draw
+        #: occurrence-indexed samples within a call, so their presence
+        #: coarsens caching to whole-request keys.
+        self.row_cacheable = all(
+            isinstance(model, IncrementalSequenceModel)
+            for model in pipeline.models
+        )
+        self.last_engine_stats = EngineStats()
+        self.last_join_stats = None
+        self._counters = _Counters()
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._run, name="transform-service", daemon=True
+        )
+        self._thread.start()
+
+    @staticmethod
+    def _require_greedy(pipeline: DTTPipeline) -> None:
+        engines = [pipeline.engine] + [
+            engine
+            for engine in (
+                getattr(model, "engine", None) for model in pipeline.models
+            )
+            if isinstance(engine, GenerationEngine)
+        ]
+        for engine in engines:
+            if engine.mode != "greedy":
+                raise ValueError(
+                    "TransformService requires greedy decoding: sampling "
+                    "outputs depend on batch composition, so coalescing "
+                    "and memoization would change results"
+                )
+
+    # -- submission --------------------------------------------------------
+
+    def submit_transform(
+        self,
+        sources: Sequence[str],
+        examples: Sequence[ExamplePair],
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue a transform; the future resolves to ``list[Prediction]``."""
+        return self._submit("transform", sources, examples, None, timeout)
+
+    def submit_join(
+        self,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        examples: Sequence[ExamplePair],
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue a join; the future resolves to ``list[JoinResult]``."""
+        if not targets:
+            raise JoinError("cannot join into an empty target column")
+        return self._submit("join", sources, examples, tuple(targets), timeout)
+
+    def transform(
+        self,
+        sources: Sequence[str],
+        examples: Sequence[ExamplePair],
+        timeout: float | None = None,
+    ) -> list[Prediction]:
+        """Blocking :meth:`submit_transform`."""
+        return self.submit_transform(sources, examples, timeout).result()
+
+    def join(
+        self,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        examples: Sequence[ExamplePair],
+        timeout: float | None = None,
+    ) -> list[JoinResult]:
+        """Blocking :meth:`submit_join`."""
+        return self.submit_join(sources, targets, examples, timeout).result()
+
+    def _submit(
+        self,
+        kind: Literal["transform", "join"],
+        sources: Sequence[str],
+        examples: Sequence[ExamplePair],
+        targets: tuple[str, ...] | None,
+        timeout: float | None,
+    ) -> Future:
+        timeout = timeout if timeout is not None else self.default_timeout
+        deadline = self._clock() + timeout if timeout is not None else None
+        request = _Request(
+            kind, tuple(sources), tuple(examples), targets, deadline
+        )
+        with self._cond:
+            if self._closing:
+                raise ServiceClosedError("service is shut down")
+            if not request.sources:
+                # The pipeline's empty-input fast path, without a batch.
+                self._count(kind, request)
+                request.future.set_result([])
+                return request.future
+            if len(self._queue) >= self.max_queue:
+                self._counters.rejected += 1
+                raise ServiceOverloadedError(
+                    f"request queue is full ({self.max_queue} pending)"
+                )
+            self._count(kind, request)
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def _count(self, kind: str, request: _Request) -> None:
+        self._counters.requests += 1
+        self._counters.rows += len(request.sources)
+        if kind == "join":
+            self._counters.join_requests += 1
+        else:
+            self._counters.transform_requests += 1
+
+    # -- the scheduler loop ------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+            self.result_cache.sweep()
+
+    def _next_batch(self) -> list[_Request] | None:
+        """Pop one micro-batch: wait for work, then hold the window open."""
+        with self._cond:
+            while not self._queue:
+                if self._closing:
+                    return None
+                self._cond.wait()
+            batch = [self._queue.popleft()]
+            rows = len(batch[0].sources)
+            window_end = self._clock() + self.max_wait_ms / 1000.0
+            while rows < self.max_batch_rows:
+                if self._queue:
+                    rows += len(self._queue[0].sources)
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = window_end - self._clock()
+                if remaining <= 0 or self._closing:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+    def _execute(self, batch: list[_Request]) -> None:
+        ready: list[_Request] = []
+        now = self._clock()
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                self._counters.cancelled += 1
+                continue
+            if request.deadline is not None and now > request.deadline:
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline expired before the batch started"
+                    )
+                )
+                self._counters.deadline_expired += 1
+                continue
+            ready.append(request)
+        if not ready:
+            return
+        self._counters.batches += 1
+        self._counters.batched_requests += len(ready)
+        try:
+            self._execute_ready(ready)
+        except Exception as error:  # the futures carry it to callers
+            for request in ready:
+                if not request.future.done():
+                    self._counters.failed += 1
+                    request.future.set_exception(error)
+
+    def _execute_ready(self, ready: list[_Request]) -> None:
+        """One coalesced pass over every survivable request."""
+        plans: list[_Plan] = []
+        for request in ready:
+            plan = _Plan(request)
+            try:
+                self._resolve_cache_and_prompts(plan)
+            except Exception as error:  # per-request isolation
+                self._counters.failed += 1
+                request.future.set_exception(error)
+                continue
+            plans.append(plan)
+        if not plans:
+            return
+        self._generate(plans)
+        self._deliver(plans)
+
+    def _resolve_cache_and_prompts(self, plan: _Plan) -> None:
+        """Fill cache hits and build prompts for the remaining rows."""
+        request = plan.request
+        pool_fp = examples_fingerprint(request.examples)
+        if self.row_cacheable:
+            plan.cache_keys = [
+                (self.model_fingerprint, pool_fp, row, value)
+                for row, value in enumerate(request.sources)
+            ]
+            for row, key in enumerate(plan.cache_keys):
+                cached = self.result_cache.get(key)
+                if cached is not None:
+                    plan.predictions[row] = cached[0]
+        else:
+            plan.cache_keys = [
+                (self.model_fingerprint, pool_fp, request.sources)
+            ]
+            cached = self.result_cache.get(plan.cache_keys[0])
+            if cached is not None:
+                plan.predictions = list(cached)
+        pending_rows = {
+            row
+            for row, prediction in enumerate(plan.predictions)
+            if prediction is None
+        }
+        if not pending_rows:
+            return
+        subtasks, prompts = self.pipeline.prepare_prompts(
+            request.sources, request.examples
+        )
+        # Context sampling is keyed on the row position alone, so rows
+        # already served from cache can be dropped without changing any
+        # other row's prompts.
+        for task, prompt in zip(subtasks, prompts, strict=True):
+            if task.row_index in pending_rows:
+                plan.subtasks.append(task)
+                plan.prompts.append(prompt)
+
+    def _generate(self, plans: list[_Plan]) -> None:
+        """One scheduled engine pass over every plan's prompts.
+
+        Incremental models get a single coalesced job (greedy decoding
+        is a pure per-prompt function, so pooling requests cannot
+        change outputs and lets dedupe/bucketing work across them);
+        occurrence-dependent models get one job per request, exactly
+        reproducing a direct ``transform_column`` call.
+        """
+        models = self.pipeline.models
+        active = [plan for plan in plans if plan.prompts]
+        jobs: list[tuple[object, list[str]]] = []
+        # slices[m][i] -> index into ``jobs`` + offset for plan i.
+        job_of: list[list[tuple[int, int]]] = []
+        for model in models:
+            per_plan: list[tuple[int, int]] = []
+            if isinstance(model, IncrementalSequenceModel):
+                pooled: list[str] = []
+                job_index = len(jobs)
+                for plan in active:
+                    per_plan.append((job_index, len(pooled)))
+                    pooled.extend(plan.prompts)
+                jobs.append((model, pooled))
+            else:
+                for plan in active:
+                    per_plan.append((len(jobs), 0))
+                    jobs.append((model, plan.prompts))
+            job_of.append(per_plan)
+        if not jobs:
+            return
+        outputs, stats = self.pipeline.engine.run_with_stats(jobs)
+        merged = EngineStats.merged(stats)
+        self.last_engine_stats = merged
+        self._counters.engine_prompts += merged.prompts
+        self._counters.engine_decoded_rows += merged.decoded_rows
+        self._counters.engine_steps += merged.steps
+        for i, plan in enumerate(active):
+            # Rebuild per-prompt candidate lists in model order, the
+            # exact shape MultiModelAggregator.generate_candidates
+            # produces for a direct call.
+            candidate_lists = [
+                [
+                    outputs[job_of[m][i][0]][job_of[m][i][1] + position]
+                    for m in range(len(models))
+                ]
+                for position in range(len(plan.prompts))
+            ]
+            request = plan.request
+            pending_rows = sorted(
+                {task.row_index for task in plan.subtasks}
+            )
+            fresh = self.pipeline.aggregate_candidates(
+                request.sources, plan.subtasks, candidate_lists
+            )
+            # aggregate_candidates votes every row; rows not pending
+            # here were cache hits, whose stored predictions win.
+            for row in pending_rows:
+                plan.predictions[row] = fresh[row]
+
+    def _deliver(self, plans: list[_Plan]) -> None:
+        """Store cache entries, resolve transforms, run coalesced joins."""
+        join_groups: dict[tuple[str, ...], list[_Plan]] = {}
+        for plan in plans:
+            request = plan.request
+            predictions = plan.predictions
+            assert all(p is not None for p in predictions)
+            if self.row_cacheable:
+                assert plan.cache_keys is not None
+                for key, prediction in zip(
+                    plan.cache_keys, predictions, strict=True
+                ):
+                    self.result_cache.put(key, (prediction,))
+            else:
+                assert plan.cache_keys is not None
+                self.result_cache.put(plan.cache_keys[0], predictions)
+            if request.kind == "transform":
+                request.future.set_result(list(predictions))
+            else:
+                assert request.targets is not None
+                join_groups.setdefault(request.targets, []).append(plan)
+        for targets, group in join_groups.items():
+            probes = [
+                prediction.value
+                for plan in group
+                for prediction in plan.predictions
+            ]
+            matches = self.pipeline.joiner.join_many(probes, targets)
+            self._counters.joined_rows += len(probes)
+            self.last_join_stats = getattr(
+                self.pipeline.joiner, "last_join_stats", None
+            )
+            offset = 0
+            for plan in group:
+                request = plan.request
+                results = [
+                    JoinResult(
+                        source=prediction.source,
+                        predicted=prediction.value,
+                        matched=matched,
+                        expected="",
+                        distance=distance,
+                    )
+                    for prediction, (matched, distance) in zip(
+                        plan.predictions,
+                        matches[offset : offset + len(plan.predictions)],
+                        strict=True,
+                    )
+                ]
+                offset += len(plan.predictions)
+                request.future.set_result(results)
+
+    # -- observability and lifecycle ---------------------------------------
+
+    def stats(self) -> ServeStats:
+        """A consistent snapshot of the service counters."""
+        cache = self.result_cache
+        # _Counters shares field names with ServeStats by construction,
+        # so a new counter only has to be declared in those two places.
+        return ServeStats(
+            **asdict(self._counters),
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_evictions=cache.evictions,
+            cache_expirations=cache.expirations,
+            cache_entries=len(cache),
+            cache_bytes=cache.total_bytes,
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closing and not self._thread.is_alive()
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain queued requests, stop the scheduler, release resources.
+
+        Requests already queued complete normally (a clean shutdown
+        never drops accepted work); new submits fail with
+        :class:`ServiceClosedError`.  Idempotent.  With a ``timeout``,
+        the call may return while the scheduler is still draining — the
+        joiner's worker pool is then left alive for the in-flight batch
+        and released by a later ``close()`` once the drain finishes.
+        """
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        self._thread.join(timeout)
+        if not self._thread.is_alive():
+            self.pipeline.joiner.close()
+
+    def __enter__(self) -> TransformService:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -22,6 +22,8 @@ paper, without looking up any paper numbers:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.core.serializer import PromptSerializer
@@ -70,6 +72,27 @@ class GPT3Surrogate:
     @property
     def name(self) -> str:
         return "GPT3"
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the deterministic parameter set.
+
+        Same contract as ``PretrainedDTT.fingerprint``: the surrogate
+        is a pure function of these parameters plus its KB, so hashing
+        them identifies its outputs exactly.
+        """
+        kb_summary = [
+            (name, len(self.kb.relation(name)))
+            for name in self.kb.relation_names()
+        ]
+        parts = (
+            "repro.gpt3-surrogate",
+            self.seed,
+            self.base_error,
+            self.fact_coverage,
+            self.max_context_tokens,
+            kb_summary,
+        )
+        return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
 
     def generate(self, prompts: list[str]) -> list[str]:
         """Predict one output string per serialized prompt.

@@ -20,6 +20,8 @@ lets the edit-distance join rescue many rows.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.core.serializer import PromptSerializer
@@ -65,6 +67,7 @@ class PretrainedDTT:
     ) -> None:
         self.profile = profile or DEFAULT_PROFILE
         self.seed = seed
+        self.beam_width = beam_width
         self.kb = kb or build_default_kb()
         self.fact_coverage = fact_coverage
         families = set(self.profile.enabled_families())
@@ -79,6 +82,29 @@ class PretrainedDTT:
     @property
     def name(self) -> str:
         return "DTT"
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the deterministic parameter set.
+
+        The stand-in is a pure function of its profile, seed, beam
+        width, fact coverage, and knowledge base, so hashing those
+        identifies its outputs exactly.  The KB is covered by its
+        relation names and sizes — relations are built-in and immutable
+        in practice, and the names pin which default was wired in.
+        """
+        kb_summary = [
+            (name, len(self.kb.relation(name)))
+            for name in self.kb.relation_names()
+        ]
+        parts = (
+            "repro.pretrained-dtt",
+            repr(self.profile),
+            self.seed,
+            self.beam_width,
+            self.fact_coverage,
+            kb_summary,
+        )
+        return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
 
     def generate(self, prompts: list[str]) -> list[str]:
         """Predict one output string per serialized prompt.

@@ -11,6 +11,7 @@ format-version drift, and concurrent readers.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -298,6 +299,116 @@ class TestDiskTier:
         monkeypatch.delenv(cache_module.CACHE_DIR_ENV, raising=False)
         monkeypatch.setattr(cache_module, "_DEFAULT_CACHE", None)
         assert cache_module.default_index_cache().cache_dir is None
+
+
+class TestDiskGarbageCollection:
+    COLUMNS = (
+        tuple(f"alpha-{i:03d}" for i in range(40)),
+        tuple(f"beta-{i:03d}" for i in range(40)),
+        tuple(f"gamma-{i:03d}" for i in range(40)),
+    )
+
+    @staticmethod
+    def _age(path, seconds):
+        import os
+
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+    def test_size_bound_evicts_lru_by_mtime(self, tmp_path):
+        probe = IndexCache(cache_dir=tmp_path)
+        probe.get(self.COLUMNS[0])
+        file_size = next(tmp_path.glob("qgram-*.npz")).stat().st_size
+        for path in tmp_path.glob("qgram-*.npz"):
+            path.unlink()
+        cache = IndexCache(
+            cache_dir=tmp_path, max_disk_bytes=2 * file_size + file_size // 2
+        )
+        for i, column in enumerate(self.COLUMNS[:2]):
+            cache.get(column)
+            # Distinct mtimes, oldest first (coarse-clock filesystems).
+            self._age(cache.disk_path(column, cache.get(column).q), 10 - i)
+        assert len(list(tmp_path.glob("qgram-*.npz"))) == 2
+        cache.get(self.COLUMNS[2])
+        remaining = set(tmp_path.glob("qgram-*.npz"))
+        assert len(remaining) == 2
+        assert cache.disk_evictions == 1
+        # The oldest snapshot went; the newest survived.
+        assert cache.disk_path(self.COLUMNS[0], 2) not in remaining
+        assert cache.disk_path(self.COLUMNS[2], 2) in remaining
+
+    def test_disk_load_refreshes_lru_position(self, tmp_path):
+        probe = IndexCache(cache_dir=tmp_path)
+        probe.get(self.COLUMNS[0])
+        file_size = next(tmp_path.glob("qgram-*.npz")).stat().st_size
+        probe.get(self.COLUMNS[1])
+        for i, column in enumerate(self.COLUMNS[:2]):
+            self._age(probe.disk_path(column, 2), 20 - i)
+        # A fresh cache loads column 0 from disk: that access must
+        # refresh its mtime so the *other* file is now least recent.
+        cache = IndexCache(
+            cache_dir=tmp_path, max_disk_bytes=2 * file_size + file_size // 2
+        )
+        cache.get(self.COLUMNS[0])
+        assert cache.disk_hits == 1
+        cache.get(self.COLUMNS[2])
+        remaining = set(tmp_path.glob("qgram-*.npz"))
+        assert cache.disk_path(self.COLUMNS[0], 2) in remaining
+        assert cache.disk_path(self.COLUMNS[1], 2) not in remaining
+
+    def test_age_bound_prunes_stale_snapshots(self, tmp_path):
+        writer = IndexCache(cache_dir=tmp_path)
+        writer.get(self.COLUMNS[0])
+        self._age(writer.disk_path(self.COLUMNS[0], 2), 3600)
+        cache = IndexCache(cache_dir=tmp_path, max_disk_age_seconds=60)
+        cache.get(self.COLUMNS[1])
+        remaining = set(tmp_path.glob("qgram-*.npz"))
+        assert cache.disk_path(self.COLUMNS[0], 2) not in remaining
+        assert cache.disk_path(self.COLUMNS[1], 2) in remaining
+        assert cache.disk_evictions == 1
+
+    def test_budget_smaller_than_one_file_keeps_newest(self, tmp_path):
+        cache = IndexCache(cache_dir=tmp_path, max_disk_bytes=1)
+        cache.get(self.COLUMNS[0])
+        cache.get(self.COLUMNS[1])
+        remaining = list(tmp_path.glob("qgram-*.npz"))
+        assert len(remaining) == 1
+        assert remaining[0] == cache.disk_path(self.COLUMNS[1], 2)
+
+    def test_gc_tolerates_concurrent_deletion(self, tmp_path, monkeypatch):
+        # Another process may GC the same directory: files vanishing
+        # between the scan and the unlink must not raise or miscount.
+        cache = IndexCache(cache_dir=tmp_path, max_disk_bytes=1)
+        cache.get(self.COLUMNS[0])
+        original_unlink = os.unlink
+
+        def racing_unlink(path, *args, **kwargs):
+            original_unlink(path)  # the "other process" wins the race
+            return original_unlink(path)  # then ours fails
+
+        monkeypatch.setattr(os, "unlink", racing_unlink)
+        cache.get(self.COLUMNS[1])
+        assert cache.disk_evictions == 0  # failed unlink is not counted
+
+    def test_unbounded_tier_never_collects(self, tmp_path):
+        cache = IndexCache(cache_dir=tmp_path)
+        for column in self.COLUMNS:
+            cache.get(column)
+        assert len(list(tmp_path.glob("qgram-*.npz"))) == 3
+        assert cache.disk_evictions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndexCache(max_disk_bytes=0)
+        with pytest.raises(ValueError):
+            IndexCache(max_disk_age_seconds=0)
+
+    def test_default_cache_reads_max_bytes_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_module.CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(cache_module.CACHE_MAX_BYTES_ENV, "12345")
+        monkeypatch.setattr(cache_module, "_DEFAULT_CACHE", None)
+        cache = cache_module.default_index_cache()
+        assert cache.max_disk_bytes == 12345
 
 
 class TestAdaptiveQ:

@@ -146,6 +146,124 @@ class TestParallelEquivalence:
         assert stats.shards == 0
 
 
+class TestPersistentPool:
+    def test_pool_survives_across_calls_and_columns(self):
+        # One executor serves successive join_many calls — including
+        # calls against different target columns — with results still
+        # byte-identical to the serial scan.
+        rng = random.Random(_SEED + 10)
+        columns = [
+            [
+                random_unicode_string(
+                    rng, max_length=12, min_length=4, alphabet=_ALPHABET
+                )
+                for _ in range(250)
+            ]
+            for _ in range(2)
+        ]
+        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
+        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        pools = []
+        for targets in columns + columns:  # repeat: warm-pool path
+            probes = _probe_mix(rng, targets, 120)
+            assert parallel.join_many(probes, targets) == serial.join_many(
+                probes, targets
+            )
+            pools.append(parallel._pool)
+        assert all(pool is pools[0] for pool in pools)  # one pool, reused
+        parallel.close()
+        assert parallel._pool is None
+
+    def test_close_allows_later_reuse(self):
+        targets = [f"value-{i:04d}" for i in range(200)]
+        probes = [f"valu-{i:04d}" for i in range(40)]
+        joiner = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        first = joiner.join_many(probes, targets)
+        joiner.close()
+        assert joiner.join_many(probes, targets) == first  # fresh pool
+        joiner.close()
+
+    def test_context_manager_closes_pool(self):
+        targets = [f"value-{i:04d}" for i in range(200)]
+        probes = [f"valu-{i:04d}" for i in range(40)]
+        with IndexedJoiner(cache=IndexCache(), n_workers=2) as joiner:
+            joiner.join_many(probes, targets)
+            pool = joiner._pool
+            assert pool is not None
+        assert joiner._pool is None
+        assert pool.closed
+
+    def test_worker_count_change_rebuilds_pool(self):
+        targets = [f"value-{i:04d}" for i in range(200)]
+        probes = [f"valu-{i:04d}" for i in range(40)]
+        joiner = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        expected = joiner.join_many(probes, targets)
+        first_pool = joiner._pool
+        joiner.n_workers = 3
+        assert joiner.join_many(probes, targets) == expected
+        assert joiner._pool is not first_pool
+        assert first_pool.closed
+        joiner.close()
+
+    def test_fork_pool_rebuilds_when_threads_appear(self, monkeypatch):
+        # A pool whose executor was fork-started while single-threaded
+        # must not fork more workers once other threads exist — the
+        # next call rebuilds from a fresh-start context instead.
+        from repro.index import parallel as parallel_module
+
+        targets = [f"value-{i:04d}" for i in range(220)]
+        probes = [f"valu-{i:04d}" for i in range(40)]
+        joiner = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        expected = joiner.join_many(probes, targets)
+        pool = joiner._pool
+        was_fork = pool._fork_started
+        monkeypatch.setattr(
+            parallel_module.threading, "active_count", lambda: 2
+        )
+        assert joiner.join_many(probes, targets) == expected
+        if was_fork:
+            # Same pool object, new (fresh-start) executor inside it.
+            assert joiner._pool is pool
+            assert not pool._fork_started
+        joiner.close()
+
+    def test_score_shard_fingerprint_protocol(self, monkeypatch):
+        # Warm shards are fingerprint-only; an unknown fingerprint with
+        # no column attached must ask for a resend, and a resolved one
+        # must serve later fingerprint-only shards from the memo.
+        from collections import OrderedDict
+
+        from repro.index import adaptive_q, column_fingerprint
+        from repro.index import parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_WORKER_CACHE", IndexCache())
+        monkeypatch.setattr(parallel_module, "_WORKER_INDEXES", OrderedDict())
+        with pytest.raises(parallel_module._ColumnNeeded) as excinfo:
+            parallel_module._score_shard(7, 5, ["probe"], "fp?", None, None)
+        assert excinfo.value.shard_id == 7
+        column = tuple(f"value-{i:03d}" for i in range(60))
+        fingerprint = column_fingerprint(column, adaptive_q(column))
+        shard_id, _, _, _, vids, distances = parallel_module._score_shard(
+            1, 9, ["value-0070"], fingerprint, column, None
+        )
+        assert shard_id == 1 and distances.tolist() == [1]
+        # Fingerprint-only now resolves through the memo, no column.
+        shard_id, *_ = parallel_module._score_shard(
+            2, 9, ["value-0080"], fingerprint, None, None
+        )
+        assert shard_id == 2
+
+    def test_auto_joiner_close_reaches_delegate(self):
+        from repro.index import AutoJoiner
+
+        targets = [f"value-{i:04d}" for i in range(300)]
+        probes = [f"valu-{i:04d}" for i in range(40)]
+        with AutoJoiner(cache=IndexCache(), n_workers=2) as joiner:
+            joiner.join_many(probes, targets)
+            assert joiner._indexed._pool is not None
+        assert joiner._indexed._pool is None
+
+
 class TestWorkerPolicy:
     def test_explicit_workers_validated(self):
         with pytest.raises(ValueError):
