@@ -29,7 +29,12 @@ import random
 import time
 
 import numpy as np
-from bench_utils import artifact_path, emit_report, parse_bench_args
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
 from conftest import persist
 
 from repro.infer import GenerationEngine
@@ -136,7 +141,7 @@ def run_generate_bench(
             "speedup": round(full_seconds / engine_seconds, 2),
         }
     )
-    return {
+    return stamp_provenance({
         "bench": "generate",
         "seed": seed,
         "model": {
@@ -148,7 +153,7 @@ def run_generate_bench(
         },
         "timings_include_encode": True,
         "rows": rows,
-    }
+    })
 
 
 def test_bench_generate(results_dir):

@@ -27,7 +27,12 @@ import json
 import random
 import time
 
-from bench_utils import artifact_path, emit_report, parse_bench_args
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
 from conftest import persist
 
 from repro.index import IndexCache, IndexedJoiner
@@ -94,13 +99,13 @@ def run_join_batch(seed: int = _SEED, sizes: tuple[int, ...] = _SIZES) -> dict:
                 "speedup": round(scalar_seconds / batch_seconds, 2),
             }
         )
-    return {
+    return stamp_provenance({
         "bench": "join_batch",
         "seed": seed,
         "query_mix": {"exact": 0.4, "corrupted_1_3_edits": 0.4, "random": 0.2},
         "timings_include_index_build": True,
         "rows": rows,
-    }
+    })
 
 
 def test_join_batch(results_dir):

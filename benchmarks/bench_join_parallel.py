@@ -28,7 +28,12 @@ import random
 import tempfile
 import time
 
-from bench_utils import artifact_path, emit_report, parse_bench_args
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
 from conftest import persist
 
 from repro.index import IndexCache, IndexedJoiner
@@ -134,7 +139,7 @@ def run_join_parallel(
                         "speedup_vs_serial": round(serial_seconds / seconds, 2),
                     }
                 )
-    return {
+    return stamp_provenance({
         "bench": "join_parallel",
         "seed": seed,
         "cpu_count": os.cpu_count(),
@@ -148,7 +153,7 @@ def run_join_parallel(
         ),
         "rows": rows,
         "disk_cache": disk_rows,
-    }
+    })
 
 
 def _render(report: dict) -> str:

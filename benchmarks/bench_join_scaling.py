@@ -18,7 +18,12 @@ import json
 import random
 import time
 
-from bench_utils import artifact_path, emit_report, parse_bench_args
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
 from conftest import persist
 
 from repro.core.joiner import EditDistanceJoiner
@@ -88,13 +93,13 @@ def run_join_scaling(
                 "speedup": round(brute_seconds / indexed_seconds, 2),
             }
         )
-    return {
+    return stamp_provenance({
         "bench": "join_scaling",
         "seed": seed,
         "query_mix": {"exact": 0.4, "corrupted_1_3_edits": 0.4, "random": 0.2},
         "indexed_includes_index_build": True,
         "rows": rows,
-    }
+    })
 
 
 def test_join_scaling(results_dir):

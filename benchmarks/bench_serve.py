@@ -28,7 +28,12 @@ import statistics
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from bench_utils import artifact_path, emit_report, parse_bench_args
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
 from conftest import persist
 
 from repro.core.pipeline import DTTPipeline
@@ -176,7 +181,7 @@ def run_serve_bench(seed: int = _SEED, n_requests: int = _N_REQUESTS) -> dict:
         "cache_hits": warm_stats.cache_hits,
         "cache_misses": warm_stats.cache_misses,
     }
-    return {
+    return stamp_provenance({
         "bench": "serve",
         "seed": seed,
         "model": "ByteSeq2Seq(dim=32, 2+1 layers, 48-token decode), untrained",
@@ -188,7 +193,7 @@ def run_serve_bench(seed: int = _SEED, n_requests: int = _N_REQUESTS) -> dict:
         },
         "rows": rows,
         "warm_cache": cache,
-    }
+    })
 
 
 def _render(report: dict) -> str:

@@ -11,6 +11,12 @@ boilerplate:
   including in smoke mode, where the default is to write nothing).
 * :func:`emit_report` — serialize the report, write the artifact when a
   path applies, and echo the JSON to stdout.
+* :func:`stamp_provenance` — attach the host/environment provenance
+  block (:func:`repro.obs.manifest.provenance`) every committed
+  artifact must carry, so a recorded number can always answer "on what
+  host, under which interpreter?" — the self-description that lets the
+  run manifest and CI discount artifacts recorded on starved hosts
+  instead of trusting them blindly.
 """
 
 from __future__ import annotations
@@ -19,7 +25,15 @@ import argparse
 import json
 from pathlib import Path
 
+from repro.obs.manifest import provenance
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def stamp_provenance(report: dict) -> dict:
+    """Attach (or refresh) the report's environment provenance block."""
+    report["provenance"] = provenance()
+    return report
 
 
 def artifact_path(name: str) -> Path:
@@ -55,8 +69,11 @@ def emit_report(
 
     The full sweep writes to ``default_path``; smoke runs write nothing.
     An explicit ``--json-out`` wins in either mode, so CI can archive a
-    smoke report without overwriting the committed trajectory.
+    smoke report without overwriting the committed trajectory.  Every
+    emitted report carries a provenance block (stamped here as a
+    backstop for emitters that predate it).
     """
+    report.setdefault("provenance", provenance())
     text = json.dumps(report, indent=2)
     path = args.json_out
     if path is None and not args.smoke:

@@ -166,6 +166,29 @@ def evaluate_on_table(
     )
 
 
+def manifest_rows(reports: Sequence[DatasetReport]) -> list[dict]:
+    """Flatten dataset reports into run-manifest eval rows.
+
+    One JSON-friendly dict per dataset/method pair, scores rounded to
+    four places so manifests diff cleanly across runs: score changes
+    show up, float noise does not.
+    """
+    return [
+        {
+            "dataset": report.dataset,
+            "method": report.method,
+            "precision": round(report.precision, 4),
+            "recall": round(report.recall, 4),
+            "f1": round(report.f1, 4),
+            "aed": round(report.aed, 4),
+            "aned": round(report.aned, 4),
+            "seconds": round(report.seconds, 4),
+            "tables": report.tables,
+        }
+        for report in reports
+    ]
+
+
 def evaluate_on_dataset(
     joiner: TableJoiner,
     tables: Sequence[TablePair],

@@ -41,7 +41,10 @@ cache) and/or ``max_disk_age_seconds`` set, every snapshot write prunes
 the directory — age-expired files first, then least-recently-used files
 (by mtime; loads refresh it) until the tier fits the byte budget — so a
 long-lived serving deployment cycling through many target columns
-cannot fill the disk.
+cannot fill the disk.  Ages are clamped against clock skew (negative
+ages read as zero), so a stepped clock or a peer host's future-dated
+mtimes in a shared directory can neither mass-evict fresh snapshots nor
+pin stale ones at the head of the LRU order.
 """
 
 from __future__ import annotations
@@ -140,6 +143,14 @@ class IndexCache:
         max_disk_age_seconds: Age bound for the on-disk tier; snapshots
             whose mtime is older are deleted during garbage collection.
             ``None`` (the default) disables the age bound.
+        clock: Wall-clock source for disk GC age computation
+            (injectable for tests).  Ages are **skew-guarded**: a
+            negative age — the clock stepped backwards, or another
+            host wrote a future-dated mtime into a shared directory —
+            clamps to zero, so fresh snapshots are never mass-evicted
+            by a clock step and future-dated files neither pin
+            themselves past the age bound's intent nor jump the LRU
+            queue (they sort as written-just-now, then age normally).
     """
 
     def __init__(
@@ -149,6 +160,7 @@ class IndexCache:
         cache_dir: str | os.PathLike[str] | None = None,
         max_disk_bytes: int | None = None,
         max_disk_age_seconds: float | None = None,
+        clock=time.time,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -168,6 +180,7 @@ class IndexCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_disk_bytes = max_disk_bytes
         self.max_disk_age_seconds = max_disk_age_seconds
+        self._clock = clock
         self._entries: OrderedDict[CacheKey, QGramIndex] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
@@ -304,7 +317,7 @@ class IndexCache:
                     pass
 
     def _collect_disk_garbage(self, keep: Path) -> None:
-        """Age- and size-bound the on-disk tier, LRU by mtime.
+        """Age- and size-bound the on-disk tier, LRU by clamped age.
 
         Runs after every snapshot write (the only operation that grows
         the tier).  Files older than ``max_disk_age_seconds`` are
@@ -312,39 +325,66 @@ class IndexCache:
         ``max_disk_bytes``, the least recently used are deleted until
         the tier fits.  ``keep`` — the snapshot just written — is never
         deleted, so the cache always holds at least the current column
-        even under a budget smaller than one file.  Every filesystem
-        failure is swallowed: concurrent processes GC the same
-        directory without coordination, so files may vanish mid-scan,
-        and a cache must never be able to make a join fail.
+        even under a budget smaller than one file.
+
+        Ages are **clock-skew guarded**: ``age = max(0, now - mtime)``.
+        Raw mtime arithmetic breaks on shared directories and stepped
+        clocks — a future-dated mtime (a peer host's fast clock, or a
+        local backwards step landing every pre-step file "in the
+        future") makes ``now - mtime`` negative, which a naive age
+        check never expires and a naive mtime sort ranks permanently
+        most-recent, pinning the file at the head of the LRU order
+        while genuinely fresh snapshots are evicted around it.  A
+        future-dated file is instead treated as written *now*: its age
+        clamps to zero for this pass **and its mtime is rewritten to
+        ``now``** (best-effort), so from this GC onward it ages
+        normally — it can expire and it competes in LRU order like
+        everything else, instead of being pinned until the local clock
+        catches up to its timestamp.
+
+        Every filesystem failure is swallowed: concurrent processes GC
+        the same directory without coordination, so files may vanish
+        mid-scan, and a cache must never be able to make a join fail.
         """
         if self.max_disk_bytes is None and self.max_disk_age_seconds is None:
             return
         assert self.cache_dir is not None
-        entries: list[tuple[float, int, Path]] = []
         try:
             candidates = list(self.cache_dir.glob("qgram-*.npz"))
         except OSError:
             return
+        now = self._clock()
+        entries: list[tuple[float, int, Path]] = []
         for path in candidates:
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        entries.sort()  # oldest mtime first == least recently used
+            if stat.st_mtime > now:
+                # De-pin: restamp the future-dated file as written now
+                # so it ages (and can expire) from this point on.
+                try:
+                    os.utime(path, (now, now))
+                except OSError:
+                    pass
+            age = max(0.0, now - stat.st_mtime)
+            entries.append((age, stat.st_size, path))
+        # Largest clamped age first == least recently used.  Ties (all
+        # future-dated files clamp to age zero) break by path name, so
+        # concurrent GCs walk one deterministic order.
+        entries.sort(key=lambda entry: (-entry[0], entry[2].name))
         survivors: list[tuple[float, int, Path]] = []
-        now = time.time()
-        for mtime, size, path in entries:
+        for age, size, path in entries:
             if path == keep:
-                survivors.append((mtime, size, path))
+                survivors.append((age, size, path))
                 continue
             if (
                 self.max_disk_age_seconds is not None
-                and now - mtime > self.max_disk_age_seconds
+                and age > self.max_disk_age_seconds
             ):
                 self._evict_disk(path)
             else:
-                survivors.append((mtime, size, path))
+                survivors.append((age, size, path))
         if self.max_disk_bytes is None:
             return
         total = sum(size for _, size, _ in survivors)

@@ -1,0 +1,55 @@
+"""Observability: service metrics primitives and the run manifest.
+
+Two halves, both dependency-free:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges, and
+  log-bucketed latency histograms, collected in a
+  :class:`MetricsRegistry` that renders either a JSON-friendly snapshot
+  (for the service's ``/v1/stats``) or the Prometheus text exposition
+  format (for the scrape-friendly ``/metrics`` endpoint).
+* :mod:`repro.obs.manifest` — the run-manifest schema behind
+  ``scripts/reproduce_all.py``: environment provenance (interpreter,
+  numpy, platform, host ``cpu_count``), per-bench key-metric extraction
+  from ``BENCH_*.json`` reports, delta computation against the
+  committed artifacts, and manifest build/save/load round-tripping.
+
+Every later perf claim in this repository reports through this layer:
+benches stamp their reports with :func:`~repro.obs.manifest.provenance`,
+the serving tier exports its latency/occupancy/cache counters live, and
+one command (``python scripts/reproduce_all.py``) folds all of it into a
+single machine-readable ledger.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    artifact_flags,
+    bench_deltas,
+    build_manifest,
+    key_metrics,
+    load_manifest,
+    new_run_id,
+    provenance,
+    save_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "artifact_flags",
+    "bench_deltas",
+    "build_manifest",
+    "key_metrics",
+    "load_manifest",
+    "new_run_id",
+    "provenance",
+    "save_manifest",
+]

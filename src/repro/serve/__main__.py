@@ -96,10 +96,30 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help="result-cache entry lifetime (default: no expiry)",
     )
+    parser.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=16 << 20,
+        help="declared-body bound; larger requests get HTTP 413",
+    )
+    parser.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=30.0,
+        help="socket timeout per connection; a client stalling mid-body "
+        "gets HTTP 408",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     service = build_service(args)
-    serve_http(service, args.host, args.port, verbose=not args.quiet)
+    serve_http(
+        service,
+        args.host,
+        args.port,
+        verbose=not args.quiet,
+        max_request_bytes=args.max_request_bytes,
+        request_timeout_s=args.request_timeout_s,
+    )
 
 
 if __name__ == "__main__":

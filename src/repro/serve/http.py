@@ -14,11 +14,20 @@ Endpoints (all bodies JSON):
   "votes", "candidates"}]}``
 * ``POST /v1/join`` — transform body plus ``"targets": [...]`` →
   ``{"results": [{"source", "predicted", "matched", "distance"}]}``
-* ``GET /v1/stats`` — the service's :class:`ServeStats` snapshot.
+* ``GET /v1/stats`` — the service's :class:`ServeStats` snapshot, plus
+  a ``"metrics"`` block with the latency/occupancy histograms and
+  live gauges.
+* ``GET /metrics`` — the same metrics in the Prometheus text
+  exposition format (scrape-friendly plain text).
 * ``GET /healthz`` — liveness.
 
-Error mapping: malformed requests → 400, queue backpressure → 429,
-expired deadlines → 504, a closed service → 503.
+Error mapping: malformed requests (bad JSON, bad ``Content-Length``,
+truncated bodies) → 400, oversized bodies → 413, a client stalling
+mid-body past the read timeout → 408, queue backpressure → 429,
+expired deadlines → 504, a closed service → 503.  Body reads are
+bounded in both bytes (``max_request_bytes``) and time
+(``request_timeout_s``), so a hostile or broken client can neither
+balloon memory nor pin a handler thread forever.
 """
 
 from __future__ import annotations
@@ -36,10 +45,15 @@ from repro.serve.service import TransformService
 from repro.types import ExamplePair
 
 _MAX_BODY_BYTES = 16 << 20
+_READ_TIMEOUT_S = 30.0
 
 
 class _BadRequest(ValueError):
     """Client-side request shape error (mapped to 400)."""
+
+
+class _PayloadTooLarge(ValueError):
+    """Declared body exceeds the configured bound (mapped to 413)."""
 
 
 def _string_list(payload: dict, field: str) -> list[str]:
@@ -86,6 +100,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------
 
+    def setup(self) -> None:
+        # StreamRequestHandler applies ``self.timeout`` to the socket
+        # during setup, bounding every blocking read — without it a
+        # client that stalls mid-body pins this handler thread forever.
+        self.timeout = self.server.request_timeout_s
+        super().setup()
+
     def log_message(self, format: str, *args: object) -> None:
         if self.server.verbose:
             super().log_message(format, *args)
@@ -98,14 +119,47 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _BadRequest("request body required")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            # Unparseable framing: without a length the body cannot be
+            # delimited, so the connection must close after the error.
+            self.close_connection = True
+            raise _BadRequest(
+                f"malformed Content-Length header: {raw_length!r}"
+            ) from None
         if length <= 0:
             raise _BadRequest("request body required")
-        if length > _MAX_BODY_BYTES:
-            raise _BadRequest("request body too large")
+        if length > self.server.max_request_bytes:
+            # The body was never read; unread bytes poison keep-alive.
+            self.close_connection = True
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_request_bytes}-byte limit"
+            )
+        data = self.rfile.read(length)
+        if len(data) < length:
+            # The client closed early: a truncated body, not a batch of
+            # whatever bytes did arrive.
+            self.close_connection = True
+            raise _BadRequest(
+                f"request body truncated: got {len(data)} of "
+                f"{length} declared bytes"
+            )
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            payload = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise _BadRequest(f"invalid JSON body: {error}") from error
         if not isinstance(payload, dict):
@@ -118,7 +172,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._send_json(200, {"ok": not self.server.service.closed})
         elif self.path == "/v1/stats":
-            self._send_json(200, self.server.service.stats().as_dict())
+            service = self.server.service
+            self._send_json(
+                200,
+                {
+                    **service.stats().as_dict(),
+                    "metrics": service.metrics_snapshot(),
+                },
+            )
+        elif self.path == "/metrics":
+            self._send_text(
+                200,
+                self.server.service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -133,6 +200,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except _BadRequest as error:
             self._send_json(400, {"error": str(error)})
+        except _PayloadTooLarge as error:
+            self._send_json(413, {"error": str(error)})
+        except TimeoutError as error:
+            # The socket timed out mid-body: the client stalled, and
+            # the half-read stream can carry no further requests.
+            self.close_connection = True
+            self._send_json(
+                408, {"error": f"timed out reading request body: {error}"}
+            )
         except ServiceOverloadedError as error:
             self._send_json(429, {"error": str(error)})
         except DeadlineExceededError as error:
@@ -194,7 +270,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 class TransformServiceServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`TransformService`."""
+    """A threading HTTP server bound to one :class:`TransformService`.
+
+    Args:
+        address: ``(host, port)`` to bind.
+        service: The service every handler dispatches into.
+        verbose: Log each request line.
+        max_request_bytes: Declared-body bound; larger requests are
+            refused with 413 before any body byte is read.
+        request_timeout_s: Socket timeout applied to every handler
+            connection — bounds body reads and idle keep-alives alike.
+    """
 
     daemon_threads = True
 
@@ -203,10 +289,22 @@ class TransformServiceServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: TransformService,
         verbose: bool = False,
+        max_request_bytes: int = _MAX_BODY_BYTES,
+        request_timeout_s: float = _READ_TIMEOUT_S,
     ) -> None:
+        if max_request_bytes < 1:
+            raise ValueError(
+                f"max_request_bytes must be >= 1, got {max_request_bytes}"
+            )
+        if request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self.verbose = verbose
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout_s = request_timeout_s
 
 
 def start_http_server(
@@ -214,6 +312,8 @@ def start_http_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    max_request_bytes: int = _MAX_BODY_BYTES,
+    request_timeout_s: float = _READ_TIMEOUT_S,
 ) -> TransformServiceServer:
     """Bind and return a server (port 0 picks a free one); not yet serving.
 
@@ -221,7 +321,13 @@ def start_http_server(
     and examples (``server.server_address`` reports the bound port), or
     via :func:`serve_http` for a foreground process.
     """
-    return TransformServiceServer((host, port), service, verbose=verbose)
+    return TransformServiceServer(
+        (host, port),
+        service,
+        verbose=verbose,
+        max_request_bytes=max_request_bytes,
+        request_timeout_s=request_timeout_s,
+    )
 
 
 def serve_http(
@@ -229,9 +335,18 @@ def serve_http(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = True,
+    max_request_bytes: int = _MAX_BODY_BYTES,
+    request_timeout_s: float = _READ_TIMEOUT_S,
 ) -> None:
     """Serve in the foreground until interrupted, then shut down cleanly."""
-    server = start_http_server(service, host, port, verbose=verbose)
+    server = start_http_server(
+        service,
+        host,
+        port,
+        verbose=verbose,
+        max_request_bytes=max_request_bytes,
+        request_timeout_s=request_timeout_s,
+    )
     bound_host, bound_port = server.server_address[:2]
     print(f"serving on http://{bound_host}:{bound_port} (Ctrl-C to stop)")
     try:

@@ -65,6 +65,10 @@ from repro.exceptions import (
     ServiceOverloadedError,
 )
 from repro.infer.engine import EngineStats, GenerationEngine
+from repro.obs.metrics import (
+    DEFAULT_OCCUPANCY_BUCKETS,
+    MetricsRegistry,
+)
 from repro.serve.cache import ResultCache, examples_fingerprint
 from repro.types import ExamplePair, JoinResult, Prediction
 
@@ -156,6 +160,7 @@ class _Request:
         "targets",
         "future",
         "deadline",
+        "submitted_at",
     )
 
     def __init__(
@@ -165,6 +170,7 @@ class _Request:
         examples: tuple[ExamplePair, ...],
         targets: tuple[str, ...] | None,
         deadline: float | None,
+        submitted_at: float = 0.0,
     ) -> None:
         self.kind = kind
         self.sources = sources
@@ -172,6 +178,7 @@ class _Request:
         self.targets = targets
         self.future: Future = Future()
         self.deadline = deadline
+        self.submitted_at = submitted_at
 
 
 class _Plan:
@@ -260,12 +267,93 @@ class TransformService:
         self.last_join_stats = None
         self._counters = _Counters()
         self._queue: deque[_Request] = deque()
+        self.metrics = self._build_metrics()
         self._cond = threading.Condition()
         self._closing = False
         self._thread = threading.Thread(
             target=self._run, name="transform-service", daemon=True
         )
         self._thread.start()
+
+    def _build_metrics(self) -> MetricsRegistry:
+        """The service's export registry (see :mod:`repro.obs.metrics`).
+
+        Histograms are observed on the scheduler thread; gauges and
+        counters read live state through callbacks, so exporting never
+        duplicates the bookkeeping behind :meth:`stats` and costs
+        nothing until something scrapes.
+        """
+        registry = MetricsRegistry(prefix="serve_")
+        self._queue_wait = registry.histogram(
+            "queue_wait_seconds",
+            "submit-to-batch-start wait per executed request",
+        )
+        self._request_latency = registry.histogram(
+            "request_latency_seconds",
+            "submit-to-completion latency per executed request",
+        )
+        self._batch_execute = registry.histogram(
+            "batch_execute_seconds",
+            "wall time of each coalesced micro-batch execution",
+        )
+        self._batch_requests = registry.histogram(
+            "batch_occupancy_requests",
+            "requests coalesced into each micro-batch",
+            buckets=DEFAULT_OCCUPANCY_BUCKETS,
+        )
+        self._batch_rows = registry.histogram(
+            "batch_occupancy_rows",
+            "source rows coalesced into each micro-batch",
+            buckets=DEFAULT_OCCUPANCY_BUCKETS,
+        )
+        registry.gauge(
+            "queue_depth",
+            "requests waiting for a batch slot right now",
+            fn=lambda: len(self._queue),
+        )
+        registry.gauge(
+            "cache_entries",
+            "result-cache entries currently held",
+            fn=lambda: len(self.result_cache),
+        )
+        registry.gauge(
+            "cache_bytes",
+            "approximate bytes held by the result cache",
+            fn=lambda: self.result_cache.total_bytes,
+        )
+        for name in (
+            "hits",
+            "misses",
+            "evictions",
+            "expirations",
+        ):
+            registry.counter(
+                f"cache_{name}_total",
+                f"result-cache {name}",
+                fn=lambda n=name: getattr(self.result_cache, n),
+            )
+        for field in (
+            "requests",
+            "transform_requests",
+            "join_requests",
+            "rows",
+            "joined_rows",
+            "batches",
+            "batched_requests",
+            "rejected",
+            "cancelled",
+            "deadline_expired",
+            "failed",
+            "engine_prompts",
+            "engine_decoded_rows",
+            "engine_steps",
+        ):
+            registry.counter(
+                f"{field}_total",
+                f"see ServeStats.{field}",
+                fn=lambda f=field: getattr(self._counters, f),
+            )
+        return registry
 
     @staticmethod
     def _require_greedy(pipeline: DTTPipeline) -> None:
@@ -335,9 +423,15 @@ class TransformService:
         timeout: float | None,
     ) -> Future:
         timeout = timeout if timeout is not None else self.default_timeout
-        deadline = self._clock() + timeout if timeout is not None else None
+        now = self._clock()
+        deadline = now + timeout if timeout is not None else None
         request = _Request(
-            kind, tuple(sources), tuple(examples), targets, deadline
+            kind,
+            tuple(sources),
+            tuple(examples),
+            targets,
+            deadline,
+            submitted_at=now,
         )
         with self._cond:
             if self._closing:
@@ -416,6 +510,12 @@ class TransformService:
             return
         self._counters.batches += 1
         self._counters.batched_requests += len(ready)
+        for request in ready:
+            self._queue_wait.observe(now - request.submitted_at)
+        self._batch_requests.observe(len(ready))
+        self._batch_rows.observe(
+            sum(len(request.sources) for request in ready)
+        )
         try:
             self._execute_ready(ready)
         except Exception as error:  # the futures carry it to callers
@@ -423,6 +523,11 @@ class TransformService:
                 if not request.future.done():
                     self._counters.failed += 1
                     request.future.set_exception(error)
+        finally:
+            done = self._clock()
+            self._batch_execute.observe(done - now)
+            for request in ready:
+                self._request_latency.observe(done - request.submitted_at)
 
     def _execute_ready(self, ready: list[_Request]) -> None:
         """One coalesced pass over every survivable request."""
@@ -606,6 +711,14 @@ class TransformService:
             cache_entries=len(cache),
             cache_bytes=cache.total_bytes,
         )
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-friendly export of every metric (histograms included)."""
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the service's metrics."""
+        return self.metrics.render_text()
 
     @property
     def closed(self) -> bool:

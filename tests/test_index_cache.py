@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -366,6 +367,57 @@ class TestDiskGarbageCollection:
         assert cache.disk_path(self.COLUMNS[0], 2) not in remaining
         assert cache.disk_path(self.COLUMNS[1], 2) in remaining
         assert cache.disk_evictions == 1
+
+    def test_backwards_clock_step_does_not_mass_evict(self, tmp_path):
+        # The GC clock steps back two hours (NTP correction): every
+        # snapshot on disk is now "future-dated".  Ages clamp to zero
+        # instead of going negative, so nothing is evicted, and each
+        # file is restamped as written *now* so it ages normally from
+        # this GC onward.
+        writer = IndexCache(cache_dir=tmp_path)
+        writer.get(self.COLUMNS[0])
+        writer.get(self.COLUMNS[1])
+
+        stepped_back = time.time() - 7200
+        cache = IndexCache(
+            cache_dir=tmp_path,
+            max_disk_age_seconds=60,
+            clock=lambda: stepped_back,
+        )
+        cache.get(self.COLUMNS[2])
+        assert len(list(tmp_path.glob("qgram-*.npz"))) == 3
+        assert cache.disk_evictions == 0
+        for i in range(2):
+            mtime = cache.disk_path(self.COLUMNS[i], 2).stat().st_mtime
+            assert mtime == pytest.approx(stepped_back, abs=2.0)
+
+    def test_future_dated_snapshot_unpinned_and_ages_normally(self, tmp_path):
+        # A peer host's fast clock stamped a snapshot an hour in the
+        # future.  Raw mtime arithmetic gives it a negative age the
+        # expiry check never trips and the LRU sort ranks permanently
+        # most-recent — the stale file is pinned until the local clock
+        # catches up.  The skew guard treats it as written now: kept on
+        # sight (age zero), restamped, then expired like any other file
+        # once it is genuinely older than the bound.
+        writer = IndexCache(cache_dir=tmp_path)
+        writer.get(self.COLUMNS[0])
+        stale = writer.disk_path(self.COLUMNS[0], 2)
+        self._age(stale, -3600)  # push the mtime into the future
+
+        now = time.time()
+        clock_now = [now]
+        cache = IndexCache(
+            cache_dir=tmp_path,
+            max_disk_age_seconds=60,
+            clock=lambda: clock_now[0],
+        )
+        cache.get(self.COLUMNS[1])  # first GC: clamp to age zero, restamp
+        assert stale.exists()
+        assert stale.stat().st_mtime == pytest.approx(now, abs=2.0)
+
+        clock_now[0] = now + 3600
+        cache.get(self.COLUMNS[2])  # second GC: ordinary expiry applies
+        assert not stale.exists()
 
     def test_budget_smaller_than_one_file_keeps_newest(self, tmp_path):
         cache = IndexCache(cache_dir=tmp_path, max_disk_bytes=1)

@@ -13,6 +13,7 @@ work), the TTL + LRU result cache, and the stdlib JSON front end.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -466,9 +467,13 @@ class TestMainEntryPoint:
 
         parser_namespace = None
 
-        def capture(service, host, port, verbose):  # replaces serve_http
+        def capture(service, host, port, verbose, **kwargs):
+            # Replaces serve_http; the HTTP front-end knobs ride in
+            # kwargs and must carry the CLI defaults.
             nonlocal parser_namespace
             parser_namespace = (service, host, port, verbose)
+            assert kwargs["max_request_bytes"] == 16 << 20
+            assert kwargs["request_timeout_s"] == 30.0
             service.close()
 
         import repro.serve.__main__ as entry
@@ -595,3 +600,134 @@ class TestHttpFrontEnd:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._post(server, "/v1/nope", {"sources": []})
         assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_metrics_endpoint_exposes_live_state(self, server):
+        examples = [pair.as_tuple() for pair in _EXAMPLES]
+        payload = {"sources": ["Kim Campbell"], "examples": examples}
+        self._post(server, "/v1/transform", payload)
+        self._post(server, "/v1/transform", payload)  # row cached now
+
+        with urllib.request.urlopen(server + "/metrics") as response:
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        # Latency histograms: cumulative buckets, +Inf, sum, count.
+        assert "# TYPE serve_request_latency_seconds histogram" in body
+        assert 'serve_request_latency_seconds_bucket{le="+Inf"} 2' in body
+        assert "serve_request_latency_seconds_count 2" in body
+        assert "serve_queue_wait_seconds_count 2" in body
+        # Occupancy: two single-request batches, one row each.
+        assert 'serve_batch_occupancy_requests_bucket{le="1"} 2' in body
+        assert 'serve_batch_occupancy_rows_bucket{le="1"} 2' in body
+        # Gauges read live state (queue drained by now).
+        assert "# TYPE serve_queue_depth gauge" in body
+        assert "serve_queue_depth 0" in body
+        # Cache counters: the repeated row hit the result cache once.
+        assert "# TYPE serve_cache_hits_total counter" in body
+        assert "serve_cache_hits_total 1" in body
+        assert "serve_requests_total 2" in body
+
+    def test_stats_nests_the_metrics_snapshot(self, server):
+        examples = [pair.as_tuple() for pair in _EXAMPLES]
+        self._post(
+            server,
+            "/v1/transform",
+            {"sources": ["Kim Campbell"], "examples": examples},
+        )
+        with urllib.request.urlopen(server + "/v1/stats") as response:
+            stats = json.load(response)
+        assert stats["requests"] == 1  # legacy flat fields intact
+        metrics = stats["metrics"]
+        latency = metrics["serve_request_latency_seconds"]
+        assert latency["count"] == 1
+        assert latency["sum"] >= 0.0
+        assert latency["buckets"][-1]["le"] == pytest.approx(1e-4 * 2**20)
+        assert metrics["serve_queue_depth"] == 0
+        assert metrics["serve_requests_total"] == 1
+
+
+class TestHttpHardening:
+    """Malformed framing must map to 4xx responses, never hangs or 500s."""
+
+    @pytest.fixture()
+    def server(self):
+        service = TransformService(_surrogate_pipeline(), max_wait_ms=1.0)
+        server = start_http_server(
+            service, max_request_bytes=256, request_timeout_s=0.5
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield host, port, service
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    @staticmethod
+    def _raw(host: str, port: int, request: bytes, half_close: bool = False):
+        """Send raw bytes; return the status code of the response."""
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(request)
+            if half_close:
+                sock.shutdown(socket.SHUT_WR)
+            reader = sock.makefile("rb")
+            status_line = reader.readline().decode("latin-1")
+        assert status_line.startswith("HTTP/1."), status_line
+        return int(status_line.split()[1])
+
+    @staticmethod
+    def _request(headers: list[str], body: bytes = b"") -> bytes:
+        lines = ["POST /v1/transform HTTP/1.1", "Host: t", *headers, "", ""]
+        return "\r\n".join(lines).encode("latin-1") + body
+
+    def test_malformed_content_length_is_400(self, server):
+        host, port, _ = server
+        request = self._request(["Content-Length: banana"])
+        assert self._raw(host, port, request) == 400
+
+    def test_missing_content_length_is_400(self, server):
+        host, port, _ = server
+        assert self._raw(host, port, self._request([])) == 400
+
+    def test_nonpositive_content_length_is_400(self, server):
+        host, port, _ = server
+        request = self._request(["Content-Length: -5"])
+        assert self._raw(host, port, request) == 400
+
+    def test_oversized_body_is_413_without_reading_it(self, server):
+        host, port, _ = server
+        # Declared far beyond max_request_bytes=256; no body is sent at
+        # all, so a 413 here proves the server rejected on the header.
+        request = self._request(["Content-Length: 1000000"])
+        assert self._raw(host, port, request) == 413
+
+    def test_truncated_body_is_400(self, server):
+        host, port, _ = server
+        request = self._request(["Content-Length: 100"], body=b'{"sour')
+        assert self._raw(host, port, request, half_close=True) == 400
+
+    def test_stalled_body_times_out_as_408(self, server):
+        host, port, _ = server
+        # Declares 100 bytes, sends 6, keeps the socket open: the read
+        # timeout (0.5 s here) must turn the stall into a 408 instead
+        # of pinning the worker thread forever.
+        request = self._request(["Content-Length: 100"], body=b'{"sour')
+        assert self._raw(host, port, request) == 408
+
+    def test_closed_service_submit_is_503(self, server):
+        host, port, service = server
+        service.close()
+        body = json.dumps(
+            {
+                "sources": ["Kim Campbell"],
+                "examples": [pair.as_tuple() for pair in _EXAMPLES],
+            }
+        ).encode("utf-8")
+        request = self._request(
+            [f"Content-Length: {len(body)}", "Content-Type: application/json"],
+            body=body,
+        )
+        assert self._raw(host, port, request) == 503
