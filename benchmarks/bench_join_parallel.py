@@ -36,6 +36,7 @@ from bench_utils import (
 )
 from conftest import persist
 
+from repro.core.join_config import JoinConfig
 from repro.index import IndexCache, IndexedJoiner
 from repro.utils.fuzz import random_edits, random_unicode_string
 
@@ -79,7 +80,8 @@ def _timed_join(
     n_workers: int,
 ) -> tuple[list[tuple[str | None, int]], float]:
     joiner = IndexedJoiner(
-        cache=IndexCache(cache_dir=cache_dir), n_workers=n_workers
+        JoinConfig(n_workers=n_workers),
+        cache=IndexCache(cache_dir=cache_dir),
     )
     started = time.perf_counter()
     results = joiner.join_many(probes, targets)

@@ -1,0 +1,181 @@
+"""Top-k join cost: brute vs blocked candidate ranking.
+
+The redesigned join API returns ranked candidate sets (``topk_many``)
+instead of a single argmin.  This bench measures what that surface
+costs on the workload it was built for — journal-abbreviation joins
+(the JAB benchmark family's noise profiles over a scaled-up synthetic
+title pool):
+
+* **brute top-k** — the reference scalar scan with k-th-best cap
+  pruning (``EditDistanceJoiner.topk_many``);
+* **blocked top-k** — the q-gram engine's neighbour-bounded ranking
+  (``IndexedJoiner.topk_many``), which reuses the argmin ladder and
+  pays one extra candidate round for the full candidate set; and
+* **blocked argmin** — the classic ``join_many`` on the same workload,
+  so ``topk_cost_ratio`` records the premium of ranking k candidates
+  over finding one.
+
+Outputs are cross-checked for byte equivalence before any clock is
+trusted.  Results go to ``BENCH_join_topk.json`` at the repository
+root.  Run directly for the full sweep, or with ``--smoke`` for the
+CI-gated seconds-scale run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
+from conftest import persist
+
+from repro.core.joiner import EditDistanceJoiner
+from repro.datagen.benchmarks.journals import JOURNAL_TITLES, PROFILES
+from repro.index import IndexCache, IndexedJoiner
+
+_SEED = 29
+_K = 5
+# (target rows, probes): brute is O(probes x rows), so probes stay
+# fixed while the column grows.
+_SIZES = ((500, 100), (2000, 100))
+_SMOKE_SIZES = ((400, 40),)
+_JSON_PATH = artifact_path("join_topk")
+
+#: Vocabulary harvested from the canonical titles, for scaling the
+#: column past the real pool without leaving the domain.
+_VOCABULARY = sorted({word for title in JOURNAL_TITLES for word in title.split()})
+
+
+def _workload(
+    rng: np.random.Generator, n_rows: int, n_probes: int
+) -> tuple[list[str], list[str]]:
+    """A scaled-up journal column and abbreviation probes against it.
+
+    Targets start with the real canonical titles and extend with
+    synthetic ones drawn from the same vocabulary; probes are noisy
+    abbreviations of random targets through the JAB noise profiles.
+    """
+    targets = list(JOURNAL_TITLES)
+    seen = set(targets)
+    while len(targets) < n_rows:
+        n_words = int(rng.integers(2, 6))
+        words = [
+            _VOCABULARY[int(i)]
+            for i in rng.integers(0, len(_VOCABULARY), size=n_words)
+        ]
+        title = " ".join(words)
+        if title not in seen:
+            seen.add(title)
+            targets.append(title)
+    targets = targets[:n_rows]
+    profiles = list(PROFILES.values())
+    probes = []
+    for _ in range(n_probes):
+        base = targets[int(rng.integers(0, len(targets)))]
+        abbreviate = profiles[int(rng.integers(0, len(profiles)))]
+        probes.append(abbreviate(base, rng))
+    return targets, probes
+
+
+def run_join_topk(
+    seed: int = _SEED,
+    sizes: tuple[tuple[int, int], ...] = _SIZES,
+    k: int = _K,
+) -> dict:
+    """Run the sweep and return the JSON-serializable report."""
+    rows = []
+    for n_rows, n_probes in sizes:
+        rng = np.random.default_rng(seed + n_rows)
+        targets, probes = _workload(rng, n_rows, n_probes)
+
+        brute = EditDistanceJoiner()
+        started = time.perf_counter()
+        brute_topk = brute.topk_many(probes, targets, k)
+        brute_seconds = time.perf_counter() - started
+
+        blocked = IndexedJoiner(cache=IndexCache())
+        started = time.perf_counter()
+        blocked_topk = blocked.topk_many(probes, targets, k)
+        topk_seconds = time.perf_counter() - started
+
+        assert brute_topk == blocked_topk, (
+            f"brute/blocked top-k equivalence violated at {n_rows} rows"
+        )
+
+        argmin_joiner = IndexedJoiner(cache=IndexCache())
+        started = time.perf_counter()
+        argmin_joiner.join_many(probes, targets)
+        argmin_seconds = time.perf_counter() - started
+
+        rows.append(
+            {
+                "rows": n_rows,
+                "probes": n_probes,
+                "k": k,
+                "brute_topk_seconds": round(brute_seconds, 4),
+                "blocked_topk_seconds": round(topk_seconds, 4),
+                "blocked_argmin_seconds": round(argmin_seconds, 4),
+                "speedup": round(brute_seconds / topk_seconds, 2),
+                "topk_cost_ratio": round(topk_seconds / argmin_seconds, 2),
+            }
+        )
+    return stamp_provenance({
+        "bench": "join_topk",
+        "seed": seed,
+        "k": k,
+        "workload": "journal-abbreviation probes (JAB noise profiles) "
+        "over a vocabulary-scaled canonical title column",
+        "timings_include_index_build": True,
+        "rows": rows,
+    })
+
+
+def test_join_topk(results_dir):
+    report = run_join_topk()
+    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [f"Top-k join cost (k={report['k']}, seconds)"]
+    lines.append(
+        "rows".ljust(8)
+        + "brute".rjust(10)
+        + "blocked".rjust(10)
+        + "argmin".rjust(10)
+        + "speedup".rjust(10)
+        + "k-ratio".rjust(10)
+    )
+    for row in report["rows"]:
+        lines.append(
+            f"{row['rows']:<8d}{row['brute_topk_seconds']:>10.3f}"
+            f"{row['blocked_topk_seconds']:>10.3f}"
+            f"{row['blocked_argmin_seconds']:>10.3f}"
+            f"{row['speedup']:>9.1f}x{row['topk_cost_ratio']:>9.1f}x"
+        )
+    lines.append(f"\n[json written to {_JSON_PATH}]")
+    persist(results_dir, "join_topk", "\n".join(lines))
+
+    # The blocked engine must beat the brute reference at every size.
+    assert all(row["speedup"] > 1.0 for row in report["rows"]), report["rows"]
+
+
+if __name__ == "__main__":
+    args = parse_bench_args(__doc__)
+    if args.smoke:
+        report = run_join_topk(sizes=_SMOKE_SIZES)
+        emit_report(report, _JSON_PATH, args)
+        # CI-enforced floor: blocked top-k must beat the brute scan
+        # even at smoke scale.  1.2x leaves headroom for noisy runners;
+        # the full sweep records the real margin in the artifact.
+        for row in report["rows"]:
+            assert row["speedup"] >= 1.2, (
+                f"blocked top-k regressed at {row['rows']} rows: {row}"
+            )
+    else:
+        report = run_join_topk()
+        emit_report(report, _JSON_PATH, args)

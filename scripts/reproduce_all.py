@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """One-command reproduction: every gated bench + the eval tables -> one manifest.
 
-Re-runs the five ``BENCH_*.json`` emitters (via their shared
+Re-runs the six ``BENCH_*.json`` emitters (via their shared
 ``--smoke`` / ``--json-out`` CLI) and a scaled-down slice of the eval
 tables, then folds everything into a single machine-readable **run
 manifest** (schema in :mod:`repro.obs.manifest`): environment and host
@@ -50,8 +50,8 @@ from repro.obs.manifest import (  # noqa: E402 - path bootstrap above
 
 #: Eval slice: dataset name -> registry scale.  Small enough for the CI
 #: slow lane, real enough to expose a scoring regression.
-_EVAL_DATASETS_SMOKE = {"WT": 0.05, "Syn": 0.2}
-_EVAL_DATASETS_FULL = {"WT": 0.2, "SS": 0.05, "Syn": 0.5}
+_EVAL_DATASETS_SMOKE = {"WT": 0.05, "Syn": 0.2, "JAB": 0.1}
+_EVAL_DATASETS_FULL = {"WT": 0.2, "SS": 0.05, "Syn": 0.5, "JAB": 0.5}
 
 
 def _bench_env() -> dict[str, str]:

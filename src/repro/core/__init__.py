@@ -10,7 +10,12 @@ then matches predictions into the target column (Eq. 5).
 from repro.core.interface import IncrementalSequenceModel, SequenceModel
 from repro.core.serializer import Decomposer, PromptSerializer, SubTask
 from repro.core.aggregator import Aggregator, MultiModelAggregator
-from repro.core.joiner import EditDistanceJoiner
+from repro.core.join_config import (
+    JOIN_MODES,
+    JoinAPIDeprecationWarning,
+    JoinConfig,
+)
+from repro.core.joiner import EditDistanceJoiner, invert_matches
 from repro.core.pipeline import DTTPipeline
 
 __all__ = [
@@ -23,4 +28,8 @@ __all__ = [
     "MultiModelAggregator",
     "EditDistanceJoiner",
     "DTTPipeline",
+    "JOIN_MODES",
+    "JoinAPIDeprecationWarning",
+    "JoinConfig",
+    "invert_matches",
 ]

@@ -1,0 +1,150 @@
+"""One frozen configuration object for every join strategy.
+
+Prior to the join-API redesign each joiner grew its own keyword sprawl
+(``max_distance`` / ``normalized_threshold`` / ``q`` / ``n_workers`` /
+``parallel_threshold`` / ``threshold`` ...), duplicated across
+``EditDistanceJoiner``, ``IndexedJoiner``, ``AutoJoiner``,
+``make_joiner`` and ``DTTPipeline``.  :class:`JoinConfig` collapses all
+of it — including the new query-surface knobs ``mode`` / ``k`` /
+``margin`` — into one validated, frozen dataclass that every
+constructor accepts as its first argument.
+
+The old keyword arguments keep working through a deprecation shim
+(:func:`fold_legacy_kwargs`): passing them folds the values into a
+``JoinConfig`` and emits a :class:`JoinAPIDeprecationWarning` once per
+call site.  Under pytest the warning is promoted to an error (see
+``filterwarnings`` in ``pyproject.toml``) so internal code cannot rot
+back onto the legacy surface.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+#: Join modes understood by the engines and the serve schema.
+JOIN_MODES = ("argmin", "topk", "reverse")
+
+
+class JoinAPIDeprecationWarning(DeprecationWarning):
+    """Raised-once warning for legacy joiner keyword arguments.
+
+    A dedicated subclass so pytest can promote exactly this category to
+    an error without touching third-party ``DeprecationWarning`` noise.
+    """
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """All tunables of the Eq. 5 join engines in one frozen object.
+
+    Attributes:
+        mode: Default query mode — ``"argmin"`` (classic Eq. 5),
+            ``"topk"`` (ranked candidate sets with margin abstention) or
+            ``"reverse"`` (target row -> source rows).  Per-call
+            arguments override it.
+        k: Default candidate-set size for top-k queries (``>= 1``).
+        margin: Calibrated abstention for top-k: when set and positive,
+            abstain unless the normalized distance gap between the
+            rank-1 and rank-2 candidates is at least ``margin``.
+            ``None`` or ``0.0`` disables the rule.
+        max_distance: Reject matches farther than this many edits.
+        normalized_threshold: Reject matches whose distance divided by
+            the matched value's length exceeds this.
+        q: Q-gram width for the blocked engine (``None`` = adaptive).
+        auto_threshold: Column size at which :class:`AutoJoiner`
+            switches from the brute scan to the blocked engine.
+        n_workers: Worker processes for the parallel sharded join
+            (``None`` = auto from cpu count above the threshold, ``1``
+            forces serial, ``>= 2`` always shards).
+        parallel_threshold: Minimum number of pending probes before the
+            blocked engine's auto mode engages the worker pool.
+    """
+
+    mode: str = "argmin"
+    k: int = 1
+    margin: float | None = None
+    max_distance: int | None = None
+    normalized_threshold: float | None = None
+    q: int | None = None
+    auto_threshold: int = 256
+    n_workers: int | None = None
+    parallel_threshold: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mode not in JOIN_MODES:
+            raise ValueError(
+                f"mode must be one of {JOIN_MODES}, got {self.mode!r}"
+            )
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
+            raise ValueError(f"k must be an int >= 1, got {self.k!r}")
+        if self.margin is not None and self.margin < 0:
+            raise ValueError(f"margin must be >= 0, got {self.margin}")
+        if self.max_distance is not None and self.max_distance < 0:
+            raise ValueError(
+                f"max_distance must be >= 0, got {self.max_distance}"
+            )
+        if self.normalized_threshold is not None and self.normalized_threshold < 0:
+            raise ValueError(
+                "normalized_threshold must be >= 0, "
+                f"got {self.normalized_threshold}"
+            )
+        if self.q is not None and self.q < 1:
+            raise ValueError(f"q must be >= 1, got {self.q}")
+        if self.auto_threshold < 0:
+            raise ValueError(
+                f"auto_threshold must be >= 0, got {self.auto_threshold}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.parallel_threshold < 0:
+            raise ValueError(
+                f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
+
+
+_WARNED_CALLERS: set[str] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which call sites already warned (test isolation hook)."""
+    _WARNED_CALLERS.clear()
+
+
+def fold_legacy_kwargs(
+    caller: str,
+    config: JoinConfig | None,
+    **legacy: object,
+) -> JoinConfig:
+    """Resolve ``(config, legacy kwargs)`` into one :class:`JoinConfig`.
+
+    ``legacy`` holds the caller's deprecated keyword arguments with
+    ``None`` meaning "not passed".  Passing any of them emits a
+    :class:`JoinAPIDeprecationWarning` once per ``caller`` and folds the
+    values into a fresh config (validated by ``__post_init__``).
+    Mixing an explicit ``config`` with legacy kwargs is an error — the
+    precedence would be ambiguous.
+    """
+    if config is not None and not isinstance(config, JoinConfig):
+        raise TypeError(
+            f"{caller}: config must be a JoinConfig, got "
+            f"{type(config).__name__} (legacy positional arguments are "
+            "not supported; pass keyword arguments or a JoinConfig)"
+        )
+    used = {name: value for name, value in legacy.items() if value is not None}
+    if not used:
+        return config if config is not None else JoinConfig()
+    if config is not None:
+        raise TypeError(
+            f"{caller}: pass either a JoinConfig or legacy keyword "
+            f"arguments ({', '.join(sorted(used))}), not both"
+        )
+    if caller not in _WARNED_CALLERS:
+        _WARNED_CALLERS.add(caller)
+        warnings.warn(
+            f"{caller}: keyword argument(s) {', '.join(sorted(used))} are "
+            "deprecated; pass JoinConfig(...) as the first argument instead",
+            JoinAPIDeprecationWarning,
+            stacklevel=3,
+        )
+    return replace(JoinConfig(), **used)  # type: ignore[arg-type]

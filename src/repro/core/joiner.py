@@ -11,41 +11,95 @@ over the whole column with best-so-far cap pruning.  For large target
 columns, :mod:`repro.index` provides a q-gram blocked engine
 (:class:`~repro.index.IndexedJoiner`) with byte-identical results, and
 ``DTTPipeline(joiner="auto")`` switches between the two on column size.
+
+Beyond the classic argmin query, every joiner exposes the redesigned
+query surface (configured through :class:`~repro.core.JoinConfig`):
+
+* :meth:`~EditDistanceJoiner.topk_many` /
+  :meth:`~EditDistanceJoiner.topk_join_many` — ranked candidate sets
+  over *distinct* target values with calibrated margin abstention;
+* :meth:`~EditDistanceJoiner.reverse_many` — which probes resolve to
+  each target row (shared inversion of the forward join);
+* :meth:`~EditDistanceJoiner.join_composite` — multi-column composite
+  keys matched by per-column distance aggregation.
+
+The brute implementations here define the contract; the blocked and
+parallel engines must stay byte-identical.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections.abc import Sequence
+from dataclasses import replace
 
+from repro.core.join_config import JoinConfig, fold_legacy_kwargs
 from repro.exceptions import JoinError
 from repro.text.edit_distance import edit_distance_capped
-from repro.types import JoinResult, Prediction
+from repro.types import JoinCandidate, JoinResult, Prediction, TopKJoinResult
+
+
+def invert_matches(
+    matches: Sequence[tuple[str | None, int]], targets: Sequence[str]
+) -> list[list[int]]:
+    """Invert forward-join matches into per-target-row probe groups.
+
+    Returns one list per target row; probe index ``i`` appears in the
+    group of the **earliest row** holding its matched value (the same
+    row the forward join would report), in ascending probe order.
+    Unmatched probes appear nowhere.  Both the reverse-join mode and the
+    serving layer share this single inversion, which is what makes
+    reverse results byte-identical across engines by construction.
+    """
+    earliest: dict[str, int] = {}
+    for row, value in enumerate(targets):
+        earliest.setdefault(value, row)
+    groups: list[list[int]] = [[] for _ in targets]
+    for probe_index, (matched, _) in enumerate(matches):
+        if matched is not None:
+            groups[earliest[matched]].append(probe_index)
+    return groups
 
 
 class EditDistanceJoiner:
     """Matches predictions into a target column by minimum edit distance.
 
     Args:
-        max_distance: When set, matches farther than this are rejected
-            (the row stays unmatched, reducing recall but protecting
-            precision).
-        normalized_threshold: When set, reject matches whose distance
-            divided by the target length exceeds this value.
+        config: All tunables in one frozen :class:`JoinConfig`; only
+            ``max_distance`` / ``normalized_threshold`` / ``mode`` /
+            ``k`` / ``margin`` apply to the brute scan.
+        max_distance: Deprecated — use ``JoinConfig(max_distance=...)``.
+            When set, matches farther than this are rejected (the row
+            stays unmatched, reducing recall but protecting precision).
+        normalized_threshold: Deprecated — use
+            ``JoinConfig(normalized_threshold=...)``.  When set, reject
+            matches whose distance divided by the matched value's
+            length exceeds this value.
+
+    The config is a constructor-time carrier: thresholds and the
+    ``mode``/``k``/``margin`` defaults land on plain mutable attributes
+    (``AutoJoiner`` re-points them on its delegates per call).
     """
 
     def __init__(
         self,
+        config: JoinConfig | None = None,
+        *,
         max_distance: int | None = None,
         normalized_threshold: float | None = None,
     ) -> None:
-        if max_distance is not None and max_distance < 0:
-            raise ValueError(f"max_distance must be >= 0, got {max_distance}")
-        if normalized_threshold is not None and normalized_threshold < 0:
-            raise ValueError(
-                f"normalized_threshold must be >= 0, got {normalized_threshold}"
-            )
-        self.max_distance = max_distance
-        self.normalized_threshold = normalized_threshold
+        config = fold_legacy_kwargs(
+            "EditDistanceJoiner",
+            config,
+            max_distance=max_distance,
+            normalized_threshold=normalized_threshold,
+        )
+        self.config = config
+        self.max_distance = config.max_distance
+        self.normalized_threshold = config.normalized_threshold
+        self.mode = config.mode
+        self.k = config.k
+        self.margin = config.margin
 
     def match(self, predicted: str, targets: Sequence[str]) -> tuple[str | None, int]:
         """Return ``(closest_target, distance)`` for one predicted value.
@@ -108,6 +162,277 @@ class EditDistanceJoiner:
         abstentions — for every probe column.
         """
         return [self.match(probe, targets) for probe in probes]
+
+    # ------------------------------------------------------------------
+    # Top-k query surface
+    # ------------------------------------------------------------------
+
+    def topk_many(
+        self, probes: Sequence[str], targets: Sequence[str], k: int
+    ) -> list[list[tuple[int, int, str]]]:
+        """Rank the ``k`` nearest *distinct* target values per probe.
+
+        Returns, per probe, up to ``k`` triples ``(distance, row,
+        value)`` sorted ascending by ``(distance, row)`` where ``row``
+        is the earliest target row holding ``value``.  Distances are
+        exact for every returned triple.  An empty probe yields ``[]``.
+
+        This reference implementation is a scalar scan with k-th-best
+        cap pruning and **defines the top-k contract**: the blocked and
+        parallel engines must return byte-identical triples.
+        """
+        self._validate_topk(targets, k)
+        vacuous = max(len(t) for t in targets)
+        return [self._topk_scan(probe, targets, k, vacuous) for probe in probes]
+
+    def _topk_scan(
+        self, probe: str, targets: Sequence[str], k: int, vacuous: int
+    ) -> list[tuple[int, int, str]]:
+        """One probe's ranked scan (earliest row per distinct value)."""
+        if probe == "":
+            return []
+        top: list[tuple[int, int, str]] = []
+        seen: set[str] = set()
+        for row, value in enumerate(targets):
+            if value in seen:
+                continue
+            seen.add(value)
+            # Once k distinct values are ranked, anything farther than
+            # the current k-th best can never enter (ties lose to the
+            # earlier row), so the DP may clamp there.
+            cap = top[-1][0] if len(top) == k else len(probe) + vacuous
+            distance = edit_distance_capped(probe, value, cap)
+            if distance > cap:
+                continue
+            insort(top, (distance, row, value))
+            if len(top) > k:
+                top.pop()
+        return top
+
+    def topk_join_many(
+        self,
+        probes: Sequence[str],
+        targets: Sequence[str],
+        k: int | None = None,
+        margin: float | None = None,
+    ) -> list[TopKJoinResult]:
+        """Batched top-k join with thresholding and margin abstention.
+
+        Selection semantics live here, in exactly one place shared by
+        every engine: the rank-1 candidate is selected unless
+        :meth:`_apply_thresholds` rejects it or — when ``margin`` is
+        set and positive — the normalized distance gap between the
+        rank-1 and rank-2 candidates, ``(d2 - d1) / max(len(probe),
+        1)``, falls below ``margin`` (an ambiguous match).  A probe
+        with only one distinct candidate has no gap and is accepted.
+
+        Args:
+            probes: Values to rank (typically predicted values).
+            targets: The full target column.
+            k: Candidate-set size; ``None`` uses the config default.
+            margin: Abstention margin; ``None`` uses the config
+                default, ``0.0`` disables the rule.
+
+        With ``k=1`` and the margin disabled, ``(matched, distance)``
+        is byte-identical to :meth:`join_many`.
+        """
+        k = self.k if k is None else k
+        margin = self.margin if margin is None else margin
+        self._validate_topk(targets, k)
+        if margin is not None and margin < 0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        use_margin = margin is not None and margin > 0
+        # The margin rule needs a rank-2 candidate even at k=1; rank
+        # two internally, trim back to the user's k when assembling.
+        ranked_lists = self.topk_many(probes, targets, max(k, 2) if use_margin else k)
+        return [
+            self._select_topk(probe, ranked, k, margin if use_margin else None)
+            for probe, ranked in zip(probes, ranked_lists, strict=True)
+        ]
+
+    def _select_topk(
+        self,
+        probe: str,
+        ranked: list[tuple[int, int, str]],
+        k: int,
+        margin: float | None,
+    ) -> TopKJoinResult:
+        """Assemble one probe's :class:`TopKJoinResult` from raw ranks."""
+        gap: float | None = None
+        if len(ranked) >= 2:
+            gap = (ranked[1][0] - ranked[0][0]) / max(len(probe), 1)
+        matched: str | None = None
+        distance = 0
+        if ranked:
+            best_distance, _, best_value = ranked[0]
+            distance = best_distance
+            matched, _ = self._apply_thresholds(best_value, best_distance)
+            if matched is not None and margin is not None and gap is not None:
+                if gap < margin:
+                    matched = None
+        candidates = tuple(
+            JoinCandidate(value=value, distance=dist, row=row)
+            for dist, row, value in ranked[:k]
+        )
+        return TopKJoinResult(
+            source=probe,
+            predicted=probe,
+            candidates=candidates,
+            matched=matched,
+            distance=distance,
+            margin=gap,
+        )
+
+    def join_topk(
+        self,
+        predictions: Sequence[Prediction],
+        targets: Sequence[str],
+        expected: Sequence[str] | None = None,
+        *,
+        k: int | None = None,
+        margin: float | None = None,
+    ) -> list[TopKJoinResult]:
+        """Top-k analogue of :meth:`join` over aggregated predictions."""
+        if expected is not None and len(expected) != len(predictions):
+            raise JoinError(
+                f"expected ({len(expected)}) must align with predictions "
+                f"({len(predictions)})"
+            )
+        results = self.topk_join_many(
+            [p.value for p in predictions], targets, k=k, margin=margin
+        )
+        return [
+            replace(
+                result,
+                source=prediction.source,
+                expected=expected[i] if expected is not None else "",
+            )
+            for i, (prediction, result) in enumerate(
+                zip(predictions, results, strict=True)
+            )
+        ]
+
+    @staticmethod
+    def _validate_topk(targets: Sequence[str], k: int) -> None:
+        """Shared argument checks for the top-k entry points."""
+        if not targets:
+            raise JoinError("cannot join into an empty target column")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ValueError(f"k must be an int >= 1, got {k!r}")
+
+    # ------------------------------------------------------------------
+    # Reverse-join mode
+    # ------------------------------------------------------------------
+
+    def reverse_many(
+        self, probes: Sequence[str], targets: Sequence[str]
+    ) -> list[list[int]]:
+        """Which probes resolve to each target row (reverse join).
+
+        One list per target row, holding the indices of the probes
+        whose forward join selected that row; unmatched probes appear
+        nowhere.  Built as :func:`invert_matches` over
+        :meth:`join_many`, so every engine inherits byte-identical
+        reverse results from its forward equivalence.
+        """
+        return invert_matches(self.join_many(probes, targets), targets)
+
+    # ------------------------------------------------------------------
+    # Composite (multi-column) keys
+    # ------------------------------------------------------------------
+
+    def join_composite(
+        self,
+        probes: Sequence[Sequence[str]],
+        target_columns: Sequence[Sequence[str]],
+    ) -> list[tuple[int | None, int]]:
+        """Join composite probes against aligned target columns.
+
+        Each probe is a tuple with one component per target column
+        (``(title, issn)``-style).  A row's distance is the **sum** of
+        per-column edit distances; the earliest row with the minimum
+        sum wins.  Thresholds generalize naturally: ``max_distance``
+        caps the summed distance and ``normalized_threshold`` divides
+        it by the matched row's total tuple length (see
+        :meth:`_apply_composite_thresholds`).  A probe whose components
+        are all empty abstains with ``(None, 0)``.
+
+        Returns ``(matched_row_index | None, summed_distance)`` per
+        probe.  This literal reference scan defines the contract for
+        the blocked/parallel overrides.
+        """
+        columns = self._validate_composite(probes, target_columns)
+        n_rows = len(columns[0])
+        sentinel = 1 + sum(
+            max((len(value) for value in column), default=0) for column in columns
+        )
+        results: list[tuple[int | None, int]] = []
+        for probe in probes:
+            parts = tuple(probe)
+            if all(part == "" for part in parts):
+                results.append((None, 0))
+                continue
+            best_row = 0
+            best_sum = sentinel + sum(len(part) for part in parts)
+            for row in range(n_rows):
+                total = 0
+                for part, column in zip(parts, columns, strict=True):
+                    value = column[row]
+                    total += edit_distance_capped(
+                        part, value, max(len(part), len(value))
+                    )
+                    if total >= best_sum:
+                        break
+                if total < best_sum:
+                    best_sum, best_row = total, row
+                    if best_sum == 0:
+                        break
+            matched_length = sum(len(column[best_row]) for column in columns)
+            results.append(
+                self._apply_composite_thresholds(best_row, best_sum, matched_length)
+            )
+        return results
+
+    def _apply_composite_thresholds(
+        self, best_row: int, best_sum: int, matched_length: int
+    ) -> tuple[int | None, int]:
+        """Composite analogue of :meth:`_apply_thresholds`.
+
+        ``max_distance`` rejects on the summed distance;
+        ``normalized_threshold`` divides the sum by the matched row's
+        total tuple length.  Shared by every strategy so composite
+        rejection semantics live in exactly one place.
+        """
+        if self.max_distance is not None and best_sum > self.max_distance:
+            return None, best_sum
+        if self.normalized_threshold is not None:
+            denominator = max(matched_length, 1)
+            if best_sum / denominator > self.normalized_threshold:
+                return None, best_sum
+        return best_row, best_sum
+
+    @staticmethod
+    def _validate_composite(
+        probes: Sequence[Sequence[str]],
+        target_columns: Sequence[Sequence[str]],
+    ) -> list[tuple[str, ...]]:
+        """Shared argument checks for :meth:`join_composite`."""
+        if not target_columns:
+            raise JoinError("composite join needs at least one target column")
+        columns = [tuple(column) for column in target_columns]
+        n_rows = len(columns[0])
+        if n_rows == 0:
+            raise JoinError("cannot join into an empty target column")
+        if any(len(column) != n_rows for column in columns):
+            raise JoinError("composite target columns must be aligned")
+        arity = len(columns)
+        for probe in probes:
+            if len(probe) != arity:
+                raise JoinError(
+                    f"composite probe arity {len(probe)} does not match "
+                    f"{arity} target column(s)"
+                )
+        return columns
 
     def match_many(
         self, predicted: str, targets: Sequence[str], lower: int = 0, upper: int = 0

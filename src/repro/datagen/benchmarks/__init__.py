@@ -1,6 +1,6 @@
-"""Evaluation benchmarks (paper §5.2).
+"""Evaluation benchmarks (paper §5.2, plus the JAB extension).
 
-Seven datasets, via :func:`repro.datagen.benchmarks.registry.get_dataset`:
+Eight datasets, via :func:`repro.datagen.benchmarks.registry.get_dataset`:
 
 * ``WT`` — simulated Web Tables: 31 pairs over 17 topics, natural noise
   and per-row conditional rules.
@@ -11,6 +11,9 @@ Seven datasets, via :func:`repro.datagen.benchmarks.registry.get_dataset`:
 * ``Syn-RP`` — single character replacement (easy; unseen unit).
 * ``Syn-ST`` — single substring (medium; seen unit).
 * ``Syn-RV`` — full reversal (hard; unseen unit).
+* ``JAB`` — journal-abbreviation joins with ADS-style noise (dotted
+  truncations, initialisms, dropped stopwords, ligature/case variants)
+  and aligned ISSN metadata columns for composite-key queries.
 """
 
 from repro.datagen.benchmarks.registry import dataset_names, get_dataset

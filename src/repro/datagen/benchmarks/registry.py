@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.datagen.benchmarks.journals import build_journals
 from repro.datagen.benchmarks.kbwt import build_kbwt
 from repro.datagen.benchmarks.spreadsheet import build_spreadsheet
 from repro.datagen.benchmarks.synthetic import (
@@ -30,6 +31,7 @@ _BUILDERS: dict[str, tuple[Callable[..., list[TablePair]], int, int]] = {
     "Syn-RP": (build_syn_rp, 5, 50),
     "Syn-ST": (build_syn_st, 5, 50),
     "Syn-RV": (build_syn_rv, 5, 50),
+    "JAB": (build_journals, 24, 40),
 }
 
 

@@ -14,6 +14,7 @@ from dataclasses import asdict
 
 from repro.baselines.base import JoinOutput, TableJoiner
 from repro.core.interface import SequenceModel
+from repro.core.join_config import JoinConfig
 from repro.core.joiner import EditDistanceJoiner
 from repro.core.pipeline import DTTPipeline
 from repro.datagen.benchmarks.noise import inject_example_noise
@@ -35,9 +36,10 @@ class DTTJoinerAdapter:
         name: Report name; defaults to the pipeline's.
         joiner: Joiner instance or strategy name (``"brute"`` /
             ``"indexed"`` / ``"auto"``), forwarded to the pipeline.
-        n_workers: Join-stage worker processes, forwarded to the
-            pipeline (``None`` auto-parallelizes large target batches
-            and stays serial below the threshold).
+        join_config: :class:`~repro.core.join_config.JoinConfig`
+            forwarded to the pipeline's joiner construction.
+        n_workers: Deprecated — pass
+            ``join_config=JoinConfig(n_workers=...)`` instead.
     """
 
     def __init__(
@@ -48,6 +50,7 @@ class DTTJoinerAdapter:
         seed: int = 0,
         name: str | None = None,
         joiner: EditDistanceJoiner | str | None = None,
+        join_config: JoinConfig | None = None,
         n_workers: int | None = None,
     ) -> None:
         self.pipeline = DTTPipeline(
@@ -56,6 +59,7 @@ class DTTJoinerAdapter:
             n_trials=n_trials,
             seed=seed,
             joiner=joiner,
+            join_config=join_config,
             n_workers=n_workers,
         )
         self._name = name or self.pipeline.name

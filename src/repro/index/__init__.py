@@ -32,6 +32,7 @@ enforced by the equivalence test harness in ``tests/`` — so blocking and
 batching are purely performance choices.
 """
 
+from repro.core.join_config import JoinConfig
 from repro.index.cache import (
     IndexCache,
     column_fingerprint,
@@ -50,6 +51,7 @@ __all__ = [
     "AutoJoiner",
     "IndexCache",
     "IndexedJoiner",
+    "JoinConfig",
     "JoinStats",
     "QGramIndex",
     "adaptive_q",

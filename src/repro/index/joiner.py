@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.join_config import JoinConfig, fold_legacy_kwargs
 from repro.core.joiner import EditDistanceJoiner
 from repro.exceptions import JoinError
 from repro.index.cache import IndexCache, default_index_cache
@@ -67,22 +68,22 @@ class IndexedJoiner(EditDistanceJoiner):
     in-place cell edits — is detected and forces a rebuild.
 
     Args:
-        max_distance: As in :class:`EditDistanceJoiner`.
-        normalized_threshold: As in :class:`EditDistanceJoiner`.
-        q: Gram size for the blocking index; ``None`` (the default)
-            picks it per column from the column's length statistics
-            (:func:`~repro.index.qgram.adaptive_q`).
+        config: All tunables in one frozen
+            :class:`~repro.core.JoinConfig` — thresholds, ``q``
+            (``None`` = adaptive per column via
+            :func:`~repro.index.qgram.adaptive_q`), ``n_workers``
+            (``None`` auto-picks ``os.cpu_count()`` capped when a batch
+            has at least ``parallel_threshold`` unresolved probes and
+            runs serially below; ``1`` forces serial; ``>= 2`` always
+            shards — results are byte-identical in every
+            configuration), ``parallel_threshold``, and the
+            ``mode``/``k``/``margin`` query defaults.
         cache: Index cache to use; ``None`` means the process-wide
             shared cache (:func:`~repro.index.cache.default_index_cache`).
-        n_workers: Worker processes for :meth:`join_many`.  ``None``
-            (the default) auto-picks ``os.cpu_count()`` (capped) when a
-            batch has at least ``parallel_threshold`` unresolved probes
-            and runs serially below; ``1`` forces serial; an explicit
-            ``>= 2`` always shards across that many workers.  Results
-            are byte-identical in every configuration.
-        parallel_threshold: Minimum number of unresolved (non-exact,
-            deduplicated) probes in a batch before the ``None`` auto
-            mode engages the worker pool.
+            An object dependency, so it stays a direct argument rather
+            than a config field.
+        max_distance, normalized_threshold, q, n_workers,
+            parallel_threshold: Deprecated — pass ``JoinConfig(...)``.
 
     Attributes:
         last_join_stats: :class:`~repro.index.parallel.JoinStats` for
@@ -112,28 +113,29 @@ class IndexedJoiner(EditDistanceJoiner):
 
     def __init__(
         self,
+        config: JoinConfig | None = None,
+        *,
+        cache: IndexCache | None = None,
         max_distance: int | None = None,
         normalized_threshold: float | None = None,
         q: int | None = None,
-        cache: IndexCache | None = None,
         n_workers: int | None = None,
-        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        parallel_threshold: int | None = None,
     ) -> None:
-        super().__init__(
-            max_distance=max_distance, normalized_threshold=normalized_threshold
+        config = fold_legacy_kwargs(
+            "IndexedJoiner",
+            config,
+            max_distance=max_distance,
+            normalized_threshold=normalized_threshold,
+            q=q,
+            n_workers=n_workers,
+            parallel_threshold=parallel_threshold,
         )
-        if q is not None and q <= 0:
-            raise ValueError(f"q must be positive, got {q}")
-        if n_workers is not None and n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-        if parallel_threshold < 0:
-            raise ValueError(
-                f"parallel_threshold must be >= 0, got {parallel_threshold}"
-            )
-        self.q = q
+        super().__init__(config)
+        self.q = config.q
         self.cache = cache if cache is not None else default_index_cache()
-        self.n_workers = n_workers
-        self.parallel_threshold = parallel_threshold
+        self.n_workers = config.n_workers
+        self.parallel_threshold = config.parallel_threshold
         self.last_join_stats: JoinStats | None = None
         self._pool: JoinWorkerPool | None = None
 
@@ -288,6 +290,263 @@ class IndexedJoiner(EditDistanceJoiner):
             for i in rows:
                 results[i] = result
         return results
+
+    def topk_many(
+        self, probes: Sequence[str], targets: Sequence[str], k: int
+    ) -> list[list[tuple[int, int, str]]]:
+        """Blocked top-k, byte-identical to the brute reference.
+
+        Same dedupe/bucketing frame as :meth:`join_many`; each bucket
+        resolves through :meth:`_topk_bucket` (one bound round plus one
+        provably sufficient candidate round).  There is no exact-match
+        short-circuit — a top-k query needs the runners-up regardless —
+        and no per-probe thresholds here; selection/abstention live in
+        the shared :meth:`EditDistanceJoiner.topk_join_many`.  Above
+        the parallel threshold the buckets shard across the persistent
+        worker pool with a deterministic per-probe merge.
+        """
+        self._validate_topk(targets, k)
+        if not probes:
+            return []
+        positions: dict[str, list[int]] = {}
+        for i, probe in enumerate(probes):
+            positions.setdefault(probe, []).append(i)
+        index = self._index_for(targets)
+        resolved: dict[str, list[tuple[int, int, str]]] = {}
+        buckets: dict[int, list[str]] = {}
+        for probe in positions:
+            if probe == "":
+                resolved[probe] = []
+            else:
+                buckets.setdefault(len(probe), []).append(probe)
+        pending = sum(len(bucket) for bucket in buckets.values())
+        n_workers = self._resolve_workers(pending)
+        ranked: dict[str, list[tuple[int, int]]]
+        if n_workers > 1 and pending:
+            ranked, _ = self._ensure_pool(n_workers).run_buckets(
+                index, buckets, targets, k=k
+            )
+        else:
+            ranked = {}
+            for length, bucket in buckets.items():
+                ranked.update(self._topk_bucket(index, length, bucket, k))
+        for probe, pairs in ranked.items():
+            resolved[probe] = [
+                (distance, int(index.first_rows[vid]), index.values[vid])
+                for distance, vid in pairs
+            ]
+        return [list(resolved[probe]) for probe in probes]
+
+    def _topk_bucket(
+        self, index: QGramIndex, length: int, probes: list[str], k: int
+    ) -> dict[str, list[tuple[int, int]]]:
+        """Ranked ``probe -> [(distance, value_id), ...]`` for one bucket.
+
+        Reuses the argmin ladder's machinery but needs only **one
+        extra cap round** beyond the bound probe: exact distances to at
+        least ``k`` plausible neighbour values (max-gram-overlap
+        targets unioned with the ``k`` nearest-by-length values) make
+        the ``k``-th smallest of them a provable upper bound on the
+        ``k``-th best distance, so one ``candidates_bucket`` round at
+        that bound contains the entire top-k with exact scores.  Like
+        :meth:`_argmin_bucket`, each probe's result depends only on
+        ``(index, length, probe, k)`` — the basis for dedupe and
+        parallel-shard equivalence.
+        """
+        n_values = len(index.values)
+        kk = min(k, n_values)
+        vacuous = max(length, index.max_length)
+        probe_codes, _ = encode_strings(probes)
+        if n_values <= k:
+            # The whole column ranks: score every value exactly once.
+            all_vids = np.arange(n_values, dtype=np.int64)
+            cand_lists = [all_vids] * len(probes)
+            dist_lists = self._scored_lists(index, probe_codes, cand_lists, vacuous)
+            return {
+                probe: self._rank_topk(index, cand_lists[j], dist_lists[j], kk)
+                for j, probe in enumerate(probes)
+            }
+        neighbour_lists = index.overlap_best(probes, length, k=kk)
+        # Guarantee >= kk distinct neighbour values per probe so the
+        # kk-th smallest exact distance below is well defined.
+        nearest = np.sort(
+            np.argsort(np.abs(index.lengths - length), kind="stable")[:kk]
+        )
+        neighbour_lists = [
+            np.union1d(neighbours, nearest) for neighbours in neighbour_lists
+        ]
+        bound_dists = self._scored_lists(
+            index, probe_codes, neighbour_lists, vacuous
+        )
+        by_bound: dict[int, list[int]] = {}
+        for j, dists in enumerate(bound_dists):
+            bound = int(np.partition(dists, kk - 1)[kk - 1])
+            by_bound.setdefault(bound, []).append(j)
+        resolved: dict[str, list[tuple[int, int]]] = {}
+        for bound, rows in sorted(by_bound.items()):
+            group = [probes[j] for j in rows]
+            cand_lists = index.candidates_bucket(group, length, bound)
+            dist_lists = self._scored_lists(
+                index, probe_codes[rows], cand_lists, bound
+            )
+            for j, cands, dists in zip(rows, cand_lists, dist_lists, strict=True):
+                keep = dists <= bound
+                ranked = self._rank_topk(index, cands[keep], dists[keep], kk)
+                if len(ranked) < kk:
+                    raise RuntimeError(
+                        "q-gram blocking missed top-k candidates within a "
+                        "proven upper bound; the completeness invariant is "
+                        "broken"
+                    )
+                resolved[probes[j]] = ranked
+        return resolved
+
+    @staticmethod
+    def _rank_topk(
+        index: QGramIndex,
+        cands: np.ndarray,
+        dists: np.ndarray,
+        kk: int,
+    ) -> list[tuple[int, int]]:
+        """Top ``kk`` candidates by ``(distance, earliest row)``."""
+        order = np.lexsort((index.first_rows[cands], dists))[:kk]
+        return [(int(dists[i]), int(cands[i])) for i in order]
+
+    def join_composite(
+        self,
+        probes: Sequence[Sequence[str]],
+        target_columns: Sequence[Sequence[str]],
+    ) -> list[tuple[int | None, int]]:
+        """Blocked composite join, byte-identical to the brute reference.
+
+        Each target column gets its own cached q-gram index; a probe
+        resolves by intersecting per-column candidate **row** sets at a
+        summed-distance cap (complete, because a row with summed
+        distance ``<= K`` is within ``K`` in every column), scoring the
+        surviving rows exactly, and deepening the cap until the best
+        scored sum is proven global.  Thresholds apply through the
+        shared :meth:`EditDistanceJoiner._apply_composite_thresholds`.
+        Above the parallel threshold the deduplicated probes shard
+        across the persistent worker pool.
+        """
+        columns = self._validate_composite(probes, target_columns)
+        positions: dict[tuple[str, ...], list[int]] = {}
+        for i, probe in enumerate(probes):
+            positions.setdefault(tuple(probe), []).append(i)
+        resolved: dict[tuple[str, ...], tuple[int | None, int]] = {}
+        pending = [
+            probe
+            for probe in positions
+            if not all(part == "" for part in probe)
+        ]
+        for probe in positions:
+            if all(part == "" for part in probe):
+                resolved[probe] = (None, 0)
+        if pending:
+            indexes = [self.cache.get(column, q=self.q) for column in columns]
+            n_workers = self._resolve_workers(len(pending))
+            if n_workers > 1:
+                argmins = self._ensure_pool(n_workers).run_composite(
+                    indexes, pending, columns
+                )
+            else:
+                row_vids = [self._row_value_ids(index) for index in indexes]
+                argmins = {
+                    probe: self._composite_argmin(indexes, row_vids, probe)
+                    for probe in pending
+                }
+            for probe, (best_row, best_sum, matched_length) in argmins.items():
+                resolved[probe] = self._apply_composite_thresholds(
+                    best_row, best_sum, matched_length
+                )
+        results: list[tuple[int | None, int]] = [(None, 0)] * len(probes)
+        for probe, rows in positions.items():
+            result = resolved[probe]
+            for i in rows:
+                results[i] = result
+        return results
+
+    @staticmethod
+    def _row_value_ids(index: QGramIndex) -> np.ndarray:
+        """Map each target row to its value id, derived from the index.
+
+        Index-only on purpose: parallel workers hold the resolved index
+        but (on the warm path) never see the raw column bytes.
+        """
+        n_values = len(index.values)
+        n_rows = sum(len(index.rows_for(vid)) for vid in range(n_values))
+        out = np.empty(n_rows, dtype=np.int64)
+        for vid in range(n_values):
+            out[np.asarray(index.rows_for(vid), dtype=np.int64)] = vid
+        return out
+
+    def _composite_argmin(
+        self,
+        indexes: list[QGramIndex],
+        row_vids: list[np.ndarray],
+        probe: tuple[str, ...],
+    ) -> tuple[int, int, int]:
+        """Earliest-row argmin of the summed per-column distance.
+
+        Returns ``(best_row, best_sum, matched_length)`` where
+        ``matched_length`` is the total tuple length of the winning row
+        (the normalized-threshold denominator).  Cap deepening: if any
+        intersected candidate row scores within the cap its sum is the
+        proven global minimum (every row within the cap survives the
+        per-column filters); otherwise the best scored sum is a proven
+        upper bound, so the next round at that cap must resolve.
+        """
+        vacuous_cols = [
+            max(len(part), index.max_length)
+            for part, index in zip(probe, indexes, strict=True)
+        ]
+        total_vacuous = sum(vacuous_cols)
+        cap = 1
+        while True:
+            cap = min(cap, total_vacuous)
+            row_set: set[int] | None = None
+            for part, index, vacuous in zip(
+                probe, indexes, vacuous_cols, strict=True
+            ):
+                vids = index.candidates(part, min(cap, vacuous))
+                rows: set[int] = set()
+                for vid in vids:
+                    rows.update(int(r) for r in index.rows_for(int(vid)))
+                row_set = rows if row_set is None else row_set & rows
+                if not row_set:
+                    break
+            if row_set:
+                rows_arr = np.fromiter(
+                    sorted(row_set), dtype=np.int64, count=len(row_set)
+                )
+                totals = np.zeros(rows_arr.size, dtype=np.int64)
+                for part, index, vacuous, vids in zip(
+                    probe, indexes, vacuous_cols, row_vids, strict=True
+                ):
+                    unique_vids, inverse = np.unique(
+                        vids[rows_arr], return_inverse=True
+                    )
+                    codes, lengths = index.batch_codes(unique_vids)
+                    distances = edit_distance_codes(part, codes, lengths, vacuous)
+                    totals += distances[inverse]
+                # rows_arr ascends, so argmin lands on the earliest row.
+                best_pos = int(np.argmin(totals))
+                best_sum = int(totals[best_pos])
+                if best_sum <= cap:
+                    best_row = int(rows_arr[best_pos])
+                    matched_length = sum(
+                        len(index.values[int(vids[best_row])])
+                        for index, vids in zip(indexes, row_vids, strict=True)
+                    )
+                    return best_row, best_sum, matched_length
+                cap = best_sum
+            else:
+                if cap >= total_vacuous:
+                    raise RuntimeError(
+                        "composite candidate intersection empty at the "
+                        "vacuous cap; the completeness invariant is broken"
+                    )
+                cap *= 2
 
     def _argmin_bucket(
         self, index: QGramIndex, length: int, probes: list[str]
@@ -636,59 +895,60 @@ class AutoJoiner(EditDistanceJoiner):
     never changes results.
 
     Args:
-        threshold: Minimum target-column length (in rows) at which the
-            q-gram engine takes over.
-        max_distance: As in :class:`EditDistanceJoiner`.
-        normalized_threshold: As in :class:`EditDistanceJoiner`.
-        q: Gram size for the blocked delegate (``None`` = adaptive).
+        config: All tunables in one frozen
+            :class:`~repro.core.JoinConfig`; ``auto_threshold`` is the
+            minimum target-column length (in rows) at which the q-gram
+            engine takes over.
         cache: Index cache for the blocked delegate (``None`` = the
             process-wide shared cache).
-        n_workers: Worker-pool setting for the blocked delegate's
-            ``join_many`` (see :class:`IndexedJoiner`).
-        parallel_threshold: Auto-parallel threshold for the blocked
-            delegate (see :class:`IndexedJoiner`).
+        threshold, max_distance, normalized_threshold, q, n_workers,
+            parallel_threshold: Deprecated — pass ``JoinConfig(...)``
+            (``threshold`` folds into ``auto_threshold``).
     """
 
     DEFAULT_THRESHOLD = 256
 
     def __init__(
         self,
-        threshold: int = DEFAULT_THRESHOLD,
+        config: JoinConfig | None = None,
+        *,
+        cache: IndexCache | None = None,
+        threshold: int | None = None,
         max_distance: int | None = None,
         normalized_threshold: float | None = None,
         q: int | None = None,
-        cache: IndexCache | None = None,
         n_workers: int | None = None,
-        parallel_threshold: int = IndexedJoiner.DEFAULT_PARALLEL_THRESHOLD,
+        parallel_threshold: int | None = None,
     ) -> None:
-        super().__init__(
-            max_distance=max_distance, normalized_threshold=normalized_threshold
-        )
-        if threshold < 0:
-            raise ValueError(f"threshold must be >= 0, got {threshold}")
-        self.threshold = threshold
-        self.last_join_stats: JoinStats | None = None
-        self._brute = EditDistanceJoiner(
-            max_distance=max_distance, normalized_threshold=normalized_threshold
-        )
-        self._indexed = IndexedJoiner(
+        config = fold_legacy_kwargs(
+            "AutoJoiner",
+            config,
+            auto_threshold=threshold,
             max_distance=max_distance,
             normalized_threshold=normalized_threshold,
             q=q,
-            cache=cache,
             n_workers=n_workers,
             parallel_threshold=parallel_threshold,
         )
+        super().__init__(config)
+        self.threshold = config.auto_threshold
+        self.last_join_stats: JoinStats | None = None
+        self._brute = EditDistanceJoiner(config)
+        self._indexed = IndexedJoiner(config, cache=cache)
 
     def _delegate(self, targets: Sequence[str]) -> EditDistanceJoiner:
         delegate = (
             self._indexed if len(targets) >= self.threshold else self._brute
         )
-        # Thresholds are read from this wrapper on every call so that
-        # post-construction mutation (joiner.max_distance = 2) behaves
-        # exactly as it does on a plain EditDistanceJoiner.
+        # Thresholds and the query-surface defaults are read from this
+        # wrapper on every call so that post-construction mutation
+        # (joiner.max_distance = 2) behaves exactly as it does on a
+        # plain EditDistanceJoiner.
         delegate.max_distance = self.max_distance
         delegate.normalized_threshold = self.normalized_threshold
+        delegate.mode = self.mode
+        delegate.k = self.k
+        delegate.margin = self.margin
         return delegate
 
     def match(self, predicted: str, targets: Sequence[str]) -> tuple[str | None, int]:
@@ -709,6 +969,19 @@ class AutoJoiner(EditDistanceJoiner):
     ) -> list[tuple[str, int]]:
         return self._delegate(targets).match_many(predicted, targets, lower, upper)
 
+    def topk_many(
+        self, probes: Sequence[str], targets: Sequence[str], k: int
+    ) -> list[list[tuple[int, int, str]]]:
+        return self._delegate(targets).topk_many(probes, targets, k)
+
+    def join_composite(
+        self,
+        probes: Sequence[Sequence[str]],
+        target_columns: Sequence[Sequence[str]],
+    ) -> list[tuple[int | None, int]]:
+        first = target_columns[0] if target_columns else ()
+        return self._delegate(first).join_composite(probes, target_columns)
+
     def close(self) -> None:
         """Tear down the blocked delegate's persistent worker pool."""
         self._indexed.close()
@@ -716,56 +989,47 @@ class AutoJoiner(EditDistanceJoiner):
 
 def make_joiner(
     strategy: str = "auto",
+    config: JoinConfig | None = None,
     *,
+    cache: IndexCache | None = None,
     max_distance: int | None = None,
     normalized_threshold: float | None = None,
     q: int | None = None,
-    auto_threshold: int = AutoJoiner.DEFAULT_THRESHOLD,
-    cache: IndexCache | None = None,
+    auto_threshold: int | None = None,
     n_workers: int | None = None,
-    parallel_threshold: int = IndexedJoiner.DEFAULT_PARALLEL_THRESHOLD,
+    parallel_threshold: int | None = None,
 ) -> EditDistanceJoiner:
     """Build a join strategy by name.
 
     Args:
         strategy: ``"brute"`` (scalar scan), ``"indexed"`` (q-gram
             blocked), or ``"auto"`` (switch on target-column size).
-        max_distance: Passed to the joiner.
-        normalized_threshold: Passed to the joiner.
-        q: Gram size for the blocked strategies (``None`` = adaptive
-            per column).
-        auto_threshold: Row-count switch point for ``"auto"``.
+        config: All tunables in one frozen
+            :class:`~repro.core.JoinConfig` (thresholds, ``q``,
+            ``auto_threshold``, worker-pool settings, and the
+            ``mode``/``k``/``margin`` query defaults).
         cache: Index cache for the blocked strategies (``None`` = the
             process-wide shared cache).
-        n_workers: Worker-pool setting for the blocked strategies'
-            ``join_many`` (``None`` = auto on batch size; ignored by
-            ``"brute"``).
-        parallel_threshold: Auto-parallel threshold for the blocked
-            strategies (see :class:`IndexedJoiner`).
+        max_distance, normalized_threshold, q, auto_threshold,
+            n_workers, parallel_threshold: Deprecated — pass
+            ``JoinConfig(...)``.
     """
+    config = fold_legacy_kwargs(
+        "make_joiner",
+        config,
+        max_distance=max_distance,
+        normalized_threshold=normalized_threshold,
+        q=q,
+        auto_threshold=auto_threshold,
+        n_workers=n_workers,
+        parallel_threshold=parallel_threshold,
+    )
     if strategy == "brute":
-        return EditDistanceJoiner(
-            max_distance=max_distance, normalized_threshold=normalized_threshold
-        )
+        return EditDistanceJoiner(config)
     if strategy == "indexed":
-        return IndexedJoiner(
-            max_distance=max_distance,
-            normalized_threshold=normalized_threshold,
-            q=q,
-            cache=cache,
-            n_workers=n_workers,
-            parallel_threshold=parallel_threshold,
-        )
+        return IndexedJoiner(config, cache=cache)
     if strategy == "auto":
-        return AutoJoiner(
-            threshold=auto_threshold,
-            max_distance=max_distance,
-            normalized_threshold=normalized_threshold,
-            q=q,
-            cache=cache,
-            n_workers=n_workers,
-            parallel_threshold=parallel_threshold,
-        )
+        return AutoJoiner(config, cache=cache)
     raise ValueError(
         f"unknown join strategy {strategy!r}; expected 'brute', 'indexed', or 'auto'"
     )

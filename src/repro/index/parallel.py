@@ -233,6 +233,52 @@ def _init_worker(
     _WORKER_DISK_BASE = (_WORKER_CACHE.disk_hits, _WORKER_CACHE.disk_misses)
 
 
+def _resolve_worker_index(
+    shard_id: int,
+    fingerprint: str,
+    column: tuple[str, ...] | None,
+    q: int | None,
+) -> QGramIndex:
+    """Resolve one column's index through this worker's memo/cache.
+
+    A miss with no column attached raises :class:`_ColumnNeeded` so the
+    parent can resubmit the shard with the column bytes.
+    """
+    cache = _WORKER_CACHE
+    assert cache is not None, "worker initialized without a cache"
+    index = _WORKER_INDEXES.get(fingerprint)
+    if index is None:
+        if column is None:
+            raise _ColumnNeeded(shard_id)
+        index = cache.get(column, q=q)
+        _WORKER_INDEXES[fingerprint] = index
+        while len(_WORKER_INDEXES) > _WORKER_INDEX_CAP:
+            _WORKER_INDEXES.popitem(last=False)
+    else:
+        _WORKER_INDEXES.move_to_end(fingerprint)
+    return index
+
+
+def _worker_scorer(q: int | None):
+    """Build the per-shard serial scorer (lazy import breaks the cycle)."""
+    from repro.core.join_config import JoinConfig
+    from repro.index.joiner import IndexedJoiner
+
+    cache = _WORKER_CACHE
+    assert cache is not None, "worker initialized without a cache"
+    return IndexedJoiner(JoinConfig(q=q, n_workers=1), cache=cache)
+
+
+def _worker_disk_counters() -> tuple[int, int]:
+    """This worker's disk-tier deltas since worker start."""
+    cache = _WORKER_CACHE
+    assert cache is not None, "worker initialized without a cache"
+    return (
+        cache.disk_hits - _WORKER_DISK_BASE[0],
+        cache.disk_misses - _WORKER_DISK_BASE[1],
+    )
+
+
 def _score_shard(
     shard_id: int,
     length: int,
@@ -240,7 +286,8 @@ def _score_shard(
     fingerprint: str,
     column: tuple[str, ...] | None,
     q: int | None,
-) -> tuple[int, int, int, int, np.ndarray, np.ndarray]:
+    k: int | None = None,
+) -> tuple:
     """Score one shard; ship the results as reduced int32 arrays.
 
     Shards are addressed by column *fingerprint*: warm shards (the
@@ -254,23 +301,31 @@ def _score_shard(
     disk-tier counters (cumulative since worker start) so the parent
     can aggregate per-process cache behaviour without double-counting
     shards.
-    """
-    # Imported lazily to break the joiner <-> parallel module cycle.
-    from repro.index.joiner import IndexedJoiner
 
-    cache = _WORKER_CACHE
-    assert cache is not None, "worker initialized without a cache"
-    index = _WORKER_INDEXES.get(fingerprint)
-    if index is None:
-        if column is None:
-            raise _ColumnNeeded(shard_id)
-        index = cache.get(column, q=q)
-        _WORKER_INDEXES[fingerprint] = index
-        while len(_WORKER_INDEXES) > _WORKER_INDEX_CAP:
-            _WORKER_INDEXES.popitem(last=False)
-    else:
-        _WORKER_INDEXES.move_to_end(fingerprint)
-    scorer = IndexedJoiner(q=q, cache=cache, n_workers=1)
+    With ``k`` set the shard runs the top-k bucket instead of the
+    argmin: the payload becomes a ragged triple — per-probe candidate
+    counts plus flat ``(vids, distances)`` arrays in rank order — which
+    the parent slices back per probe.
+    """
+    index = _resolve_worker_index(shard_id, fingerprint, column, q)
+    scorer = _worker_scorer(q)
+    disk_hits, disk_misses = _worker_disk_counters()
+    if k is not None:
+        ranked = scorer._topk_bucket(index, length, probes, k)
+        counts = np.fromiter(
+            (len(ranked[probe]) for probe in probes),
+            dtype=np.int32,
+            count=len(probes),
+        )
+        flat = [pair for probe in probes for pair in ranked[probe]]
+        distances = np.fromiter(
+            (distance for distance, _ in flat), dtype=np.int32, count=len(flat)
+        )
+        vids = np.fromiter(
+            (vid for _, vid in flat), dtype=np.int32, count=len(flat)
+        )
+        disk_hits, disk_misses = _worker_disk_counters()
+        return shard_id, os.getpid(), disk_hits, disk_misses, counts, vids, distances
     argmin = scorer._argmin_bucket(index, length, probes)
     vids = np.fromiter(
         (argmin[probe][0] for probe in probes), dtype=np.int32, count=len(probes)
@@ -278,9 +333,50 @@ def _score_shard(
     distances = np.fromiter(
         (argmin[probe][1] for probe in probes), dtype=np.int32, count=len(probes)
     )
-    disk_hits = cache.disk_hits - _WORKER_DISK_BASE[0]
-    disk_misses = cache.disk_misses - _WORKER_DISK_BASE[1]
+    disk_hits, disk_misses = _worker_disk_counters()
     return shard_id, os.getpid(), disk_hits, disk_misses, vids, distances
+
+
+def _composite_shard(
+    shard_id: int,
+    probes: list[tuple[str, ...]],
+    fingerprints: list[str],
+    columns: list[tuple[str, ...]] | None,
+    qs: list[int | None],
+) -> tuple:
+    """Resolve one composite-probe shard against per-column indexes.
+
+    Same fingerprint-addressed protocol as :func:`_score_shard`, one
+    fingerprint per target column; the payload is the per-probe
+    ``(best_row, best_sum, matched_length)`` triple as int32 arrays
+    (thresholds are applied by the parent, keeping rejection semantics
+    in one place).
+    """
+    from repro.index.joiner import IndexedJoiner
+
+    indexes = [
+        _resolve_worker_index(
+            shard_id,
+            fingerprint,
+            columns[position] if columns is not None else None,
+            qs[position],
+        )
+        for position, fingerprint in enumerate(fingerprints)
+    ]
+    scorer = _worker_scorer(qs[0])
+    row_vids = [IndexedJoiner._row_value_ids(index) for index in indexes]
+    rows = np.empty(len(probes), dtype=np.int32)
+    sums = np.empty(len(probes), dtype=np.int32)
+    lengths = np.empty(len(probes), dtype=np.int32)
+    for j, probe in enumerate(probes):
+        best_row, best_sum, matched_length = scorer._composite_argmin(
+            indexes, row_vids, probe
+        )
+        rows[j] = best_row
+        sums[j] = best_sum
+        lengths[j] = matched_length
+    disk_hits, disk_misses = _worker_disk_counters()
+    return shard_id, os.getpid(), disk_hits, disk_misses, rows, sums, lengths
 
 
 class JoinWorkerPool:
@@ -375,19 +471,22 @@ class JoinWorkerPool:
         index: QGramIndex,
         buckets: dict[int, list[str]],
         targets: Sequence[str],
-    ) -> tuple[dict[str, tuple[int, int]], PoolStats]:
-        """Run every bucket's argmin through the pool.
+        k: int | None = None,
+    ) -> tuple[dict, PoolStats]:
+        """Run every bucket's argmin (or top-k) through the pool.
 
-        Returns the merged ``probe -> (winner_value_id, distance)``
-        mapping — byte-identical to running
+        With ``k=None`` returns the merged ``probe -> (winner_value_id,
+        distance)`` mapping — byte-identical to running
         :meth:`IndexedJoiner._argmin_bucket` serially per bucket — plus
-        the pool counters for :class:`JoinStats`.
+        the pool counters for :class:`JoinStats`.  With ``k`` set, the
+        mapping is ``probe -> [(distance, value_id), ...]`` in rank
+        order, byte-identical to :meth:`IndexedJoiner._topk_bucket`.
         """
         shards = plan_shards(index, buckets, self.n_workers)
         if not shards:
             return {}, PoolStats(0, 0, (), 0, 0)
         try:
-            return self._run_shards(index, shards, targets)
+            return self._run_shards(index, shards, targets, k)
         except BrokenProcessPool:
             # A killed worker (OOM, signal) breaks the executor for
             # good.  Fail this call, but discard the executor so the
@@ -395,6 +494,94 @@ class JoinWorkerPool:
             # exactly as it did with per-call pools.
             self._discard_executor()
             raise
+
+    def run_composite(
+        self,
+        indexes: Sequence[QGramIndex],
+        probes: list[tuple[str, ...]],
+        columns: Sequence[Sequence[str]],
+    ) -> dict[tuple[str, ...], tuple[int, int, int]]:
+        """Shard composite probes across the pool and merge the results.
+
+        Returns ``probe -> (best_row, best_sum, matched_length)``,
+        byte-identical to :meth:`IndexedJoiner._composite_argmin` per
+        probe (each probe's result depends only on the indexes and the
+        probe itself, so the chunking is irrelevant).  Columns ship by
+        fingerprint with the same first-sighting / resend protocol as
+        :meth:`run_buckets`.
+        """
+        if not probes:
+            return {}
+        chunk = max(1, -(-len(probes) // (self.n_workers * _OVERSPLIT)))
+        shards = [
+            probes[start : start + chunk]
+            for start in range(0, len(probes), chunk)
+        ]
+        try:
+            return self._run_composite_shards(indexes, shards, columns)
+        except BrokenProcessPool:
+            self._discard_executor()
+            raise
+
+    def _run_composite_shards(
+        self,
+        indexes: Sequence[QGramIndex],
+        shards: list[list[tuple[str, ...]]],
+        columns: Sequence[Sequence[str]],
+    ) -> dict[tuple[str, ...], tuple[int, int, int]]:
+        executor = self._ensure_executor()
+        column_tuples = [tuple(column) for column in columns]
+        qs = [index.q for index in indexes]
+        fingerprints = [
+            column_fingerprint(column, q)
+            for column, q in zip(column_tuples, qs, strict=True)
+        ]
+        cold = any(fp not in self._shipped_fps for fp in fingerprints)
+        shipped = column_tuples if cold else None
+        self._shipped_fps.update(fingerprints)
+        futures = [
+            executor.submit(
+                _composite_shard, shard_id, shard, fingerprints, shipped, qs
+            )
+            for shard_id, shard in enumerate(shards)
+        ]
+        argmins: dict[tuple[str, ...], tuple[int, int, int]] = {}
+        worker_disk: dict[int, tuple[int, int]] = {}
+        for future in futures:
+            try:
+                result = future.result()
+            except _ColumnNeeded as missing:
+                result = executor.submit(
+                    _composite_shard,
+                    missing.shard_id,
+                    shards[missing.shard_id],
+                    fingerprints,
+                    column_tuples,
+                    qs,
+                ).result()
+            shard_id, pid, disk_hits, disk_misses, rows, sums, lengths = result
+            for probe, row, total, length in zip(
+                shards[shard_id],
+                rows.tolist(),
+                sums.tolist(),
+                lengths.tolist(),
+                strict=True,
+            ):
+                argmins[probe] = (row, total, length)
+            worker_disk[pid] = (disk_hits, disk_misses)
+        self._credit_disk(worker_disk)
+        return argmins
+
+    def _credit_disk(self, worker_disk: dict[int, tuple[int, int]]) -> tuple[int, int]:
+        """Turn per-pid cumulative disk counters into this call's delta."""
+        call_hits = 0
+        call_misses = 0
+        for pid, (disk_hits, disk_misses) in worker_disk.items():
+            seen_hits, seen_misses = self._credited_disk.get(pid, (0, 0))
+            call_hits += disk_hits - seen_hits
+            call_misses += disk_misses - seen_misses
+            self._credited_disk[pid] = (disk_hits, disk_misses)
+        return call_hits, call_misses
 
     def _discard_executor(self) -> None:
         if self._executor is not None:
@@ -406,7 +593,8 @@ class JoinWorkerPool:
         index: QGramIndex,
         shards: list[tuple[int, list[str]]],
         targets: Sequence[str],
-    ) -> tuple[dict[str, tuple[int, int]], PoolStats]:
+        k: int | None = None,
+    ) -> tuple[dict, PoolStats]:
         executor = self._ensure_executor()
         column = tuple(targets)
         fingerprint = column_fingerprint(column, index.q)
@@ -424,10 +612,11 @@ class JoinWorkerPool:
                 fingerprint,
                 shipped,
                 self.q,
+                k,
             )
             for shard_id, (length, probes) in enumerate(shards)
         ]
-        argmins: dict[str, tuple[int, int]] = {}
+        argmins: dict = {}
         worker_disk: dict[int, tuple[int, int]] = {}
         for future in futures:
             try:
@@ -442,21 +631,30 @@ class JoinWorkerPool:
                     fingerprint,
                     column,
                     self.q,
+                    k,
                 ).result()
-            shard_id, pid, disk_hits, disk_misses, vids, distances = result
-            _, probes = shards[shard_id]
-            for probe, vid, distance in zip(
-                probes, vids.tolist(), distances.tolist(), strict=True
-            ):
-                argmins[probe] = (vid, distance)
+            if k is not None:
+                shard_id, pid, disk_hits, disk_misses, counts, vids, distances = (
+                    result
+                )
+                _, probes = shards[shard_id]
+                offsets = np.concatenate(([0], np.cumsum(counts)))
+                vid_list = vids.tolist()
+                dist_list = distances.tolist()
+                for j, probe in enumerate(probes):
+                    lo, hi = int(offsets[j]), int(offsets[j + 1])
+                    argmins[probe] = list(
+                        zip(dist_list[lo:hi], vid_list[lo:hi], strict=True)
+                    )
+            else:
+                shard_id, pid, disk_hits, disk_misses, vids, distances = result
+                _, probes = shards[shard_id]
+                for probe, vid, distance in zip(
+                    probes, vids.tolist(), distances.tolist(), strict=True
+                ):
+                    argmins[probe] = (vid, distance)
             worker_disk[pid] = (disk_hits, disk_misses)
-        call_hits = 0
-        call_misses = 0
-        for pid, (disk_hits, disk_misses) in worker_disk.items():
-            seen_hits, seen_misses = self._credited_disk.get(pid, (0, 0))
-            call_hits += disk_hits - seen_hits
-            call_misses += disk_misses - seen_misses
-            self._credited_disk[pid] = (disk_hits, disk_misses)
+        call_hits, call_misses = self._credit_disk(worker_disk)
         return argmins, PoolStats(
             workers=min(self.n_workers, len(shards)),
             shards=len(shards),

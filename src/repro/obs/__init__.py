@@ -21,6 +21,7 @@ single machine-readable ledger.
 """
 
 from repro.obs.manifest import (
+    GATED_BENCHES,
     MANIFEST_VERSION,
     artifact_flags,
     bench_deltas,
@@ -39,6 +40,7 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "GATED_BENCHES",
     "MANIFEST_VERSION",
     "Counter",
     "Gauge",

@@ -47,6 +47,7 @@ GATED_BENCHES = (
     "join_batch",
     "join_scaling",
     "join_parallel",
+    "join_topk",
     "serve",
 )
 
@@ -125,6 +126,14 @@ def key_metrics(bench: str, report: dict) -> dict[str, float]:
         disk = report.get("disk_cache") or []
         if disk:
             metrics["disk_warm_speedup"] = float(disk[-1]["speedup"])
+    elif bench == "join_topk":
+        metrics.update(_labeled(rows, "rows", "speedup"))
+        if rows:
+            metrics["headline"] = float(rows[-1]["speedup"])
+        for row in rows:
+            ratio = row.get("topk_cost_ratio")
+            if isinstance(ratio, (int, float)):
+                metrics[f"topk_cost_ratio[rows={row['rows']}]"] = float(ratio)
     elif bench == "serve":
         metrics.update(_labeled(rows, "clients", "speedup_vs_serial"))
         if rows:

@@ -7,13 +7,21 @@ anything.  The threading server gives each connection its own thread,
 and those threads are exactly the concurrent clients the service's
 micro-batching scheduler coalesces.
 
-Endpoints (all bodies JSON):
+Endpoints (all bodies JSON; successful responses carry
+``"schema_version": 1``):
 
 * ``POST /v1/transform`` — ``{"sources": [...], "examples": [[s, t],
-  ...], "timeout_s": 30.0?}`` → ``{"predictions": [{"source", "value",
-  "votes", "candidates"}]}``
-* ``POST /v1/join`` — transform body plus ``"targets": [...]`` →
-  ``{"results": [{"source", "predicted", "matched", "distance"}]}``
+  ...], "timeout_s": 30.0?}`` → ``{"schema_version", "predictions":
+  [{"source", "value", "votes", "candidates"}]}``
+* ``POST /v1/join`` — transform body plus ``"targets": [...]`` and the
+  optional query-surface fields ``"mode"`` (``"argmin"`` | ``"topk"``
+  | ``"reverse"``, default ``"argmin"``), ``"k"`` (int >= 1) and
+  ``"margin"`` (number >= 0).  ``argmin`` returns ``{"results":
+  [{"source", "predicted", "matched", "expected", "distance",
+  "correct"}]}``; ``topk`` adds per-result ``"margin"`` and ranked
+  ``"candidates": [{"value", "distance", "row"}]``; ``reverse``
+  returns ``{"groups": [{"row", "target", "sources": [...]}],
+  "unmatched": [...]}`` over source-row indices.
 * ``GET /v1/stats`` — the service's :class:`ServeStats` snapshot, plus
   a ``"metrics"`` block with the latency/occupancy histograms and
   live gauges.
@@ -21,11 +29,14 @@ Endpoints (all bodies JSON):
   exposition format (scrape-friendly plain text).
 * ``GET /healthz`` — liveness.
 
-Error mapping: malformed requests (bad JSON, bad ``Content-Length``,
-truncated bodies) → 400, oversized bodies → 413, a client stalling
-mid-body past the read timeout → 408, queue backpressure → 429,
-expired deadlines → 504, a closed service → 503.  Body reads are
-bounded in both bytes (``max_request_bytes``) and time
+Every error body is structured: ``{"error": {"code", "detail",
+"field"?}}`` — ``code`` is a stable machine-readable slug, ``field``
+names the offending request field when one is known.  Mapping:
+malformed requests (bad JSON, bad ``Content-Length``, truncated
+bodies, unknown or ill-typed fields) → 400, oversized bodies → 413, a
+client stalling mid-body past the read timeout → 408, queue
+backpressure → 429, expired deadlines → 504, a closed service → 503.
+Body reads are bounded in both bytes (``max_request_bytes``) and time
 (``request_timeout_s``), so a hostile or broken client can neither
 balloon memory nor pin a handler thread forever.
 """
@@ -35,6 +46,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core.join_config import JOIN_MODES
 from repro.exceptions import (
     DeadlineExceededError,
     ReproError,
@@ -47,13 +59,45 @@ from repro.types import ExamplePair
 _MAX_BODY_BYTES = 16 << 20
 _READ_TIMEOUT_S = 30.0
 
+#: Wire-format version stamped into every successful response.
+SCHEMA_VERSION = 1
+
+_TRANSFORM_FIELDS = frozenset({"sources", "examples", "timeout_s"})
+_JOIN_FIELDS = _TRANSFORM_FIELDS | {"targets", "mode", "k", "margin"}
+
 
 class _BadRequest(ValueError):
-    """Client-side request shape error (mapped to 400)."""
+    """Client-side request shape error (mapped to a structured 400)."""
+
+    def __init__(
+        self, detail: str, code: str = "bad_request", field: str | None = None
+    ) -> None:
+        super().__init__(detail)
+        self.code = code
+        self.field = field
 
 
 class _PayloadTooLarge(ValueError):
     """Declared body exceeds the configured bound (mapped to 413)."""
+
+
+def _error_body(code: str, detail: str, field: str | None = None) -> dict:
+    """The one structured error shape every error path returns."""
+    error: dict = {"code": code, "detail": detail}
+    if field is not None:
+        error["field"] = field
+    return {"error": error}
+
+
+def _check_fields(payload: dict, allowed: frozenset[str]) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise _BadRequest(
+            f"unknown field(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}",
+            code="unknown_field",
+            field=unknown[0],
+        )
 
 
 def _string_list(payload: dict, field: str) -> list[str]:
@@ -61,14 +105,22 @@ def _string_list(payload: dict, field: str) -> list[str]:
     if not isinstance(values, list) or not all(
         isinstance(v, str) for v in values
     ):
-        raise _BadRequest(f"{field!r} must be a list of strings")
+        raise _BadRequest(
+            f"{field!r} must be a list of strings",
+            code="invalid_value",
+            field=field,
+        )
     return values
 
 
 def _example_pairs(payload: dict) -> list[ExamplePair]:
     raw = payload.get("examples")
     if not isinstance(raw, list):
-        raise _BadRequest("'examples' must be a list of [source, target] pairs")
+        raise _BadRequest(
+            "'examples' must be a list of [source, target] pairs",
+            code="invalid_value",
+            field="examples",
+        )
     pairs: list[ExamplePair] = []
     for item in raw:
         if (
@@ -77,7 +129,9 @@ def _example_pairs(payload: dict) -> list[ExamplePair]:
             or not all(isinstance(part, str) for part in item)
         ):
             raise _BadRequest(
-                "'examples' must be a list of [source, target] string pairs"
+                "'examples' must be a list of [source, target] string pairs",
+                code="invalid_value",
+                field="examples",
             )
         pairs.append(ExamplePair(item[0], item[1]))
     return pairs
@@ -87,9 +141,56 @@ def _timeout(payload: dict) -> float | None:
     timeout = payload.get("timeout_s")
     if timeout is None:
         return None
-    if not isinstance(timeout, (int, float)) or timeout <= 0:
-        raise _BadRequest("'timeout_s' must be a positive number")
+    if (
+        not isinstance(timeout, (int, float))
+        or isinstance(timeout, bool)
+        or timeout <= 0
+    ):
+        raise _BadRequest(
+            "'timeout_s' must be a positive number",
+            code="invalid_value",
+            field="timeout_s",
+        )
     return float(timeout)
+
+
+def _join_mode(payload: dict) -> str:
+    mode = payload.get("mode", "argmin")
+    if not isinstance(mode, str) or mode not in JOIN_MODES:
+        raise _BadRequest(
+            f"'mode' must be one of {list(JOIN_MODES)}, got {mode!r}",
+            code="invalid_value",
+            field="mode",
+        )
+    return mode
+
+
+def _join_k(payload: dict) -> int:
+    k = payload.get("k", 1)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise _BadRequest(
+            f"'k' must be an integer >= 1, got {k!r}",
+            code="invalid_value",
+            field="k",
+        )
+    return k
+
+
+def _join_margin(payload: dict) -> float | None:
+    margin = payload.get("margin")
+    if margin is None:
+        return None
+    if (
+        not isinstance(margin, (int, float))
+        or isinstance(margin, bool)
+        or margin < 0
+    ):
+        raise _BadRequest(
+            f"'margin' must be a number >= 0, got {margin!r}",
+            code="invalid_value",
+            field="margin",
+        )
+    return float(margin)
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -187,7 +288,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "text/plain; version=0.0.4; charset=utf-8",
             )
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_json(
+                404, _error_body("not_found", f"unknown path {self.path!r}")
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server's contract
         try:
@@ -197,35 +300,47 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif self.path == "/v1/join":
                 self._handle_join(payload)
             else:
-                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                self._send_json(
+                    404,
+                    _error_body("not_found", f"unknown path {self.path!r}"),
+                )
         except _BadRequest as error:
-            self._send_json(400, {"error": str(error)})
+            self._send_json(
+                400, _error_body(error.code, str(error), error.field)
+            )
         except _PayloadTooLarge as error:
-            self._send_json(413, {"error": str(error)})
+            self._send_json(413, _error_body("payload_too_large", str(error)))
         except TimeoutError as error:
             # The socket timed out mid-body: the client stalled, and
             # the half-read stream can carry no further requests.
             self.close_connection = True
             self._send_json(
-                408, {"error": f"timed out reading request body: {error}"}
+                408,
+                _error_body(
+                    "request_timeout",
+                    f"timed out reading request body: {error}",
+                ),
             )
         except ServiceOverloadedError as error:
-            self._send_json(429, {"error": str(error)})
+            self._send_json(429, _error_body("overloaded", str(error)))
         except DeadlineExceededError as error:
-            self._send_json(504, {"error": str(error)})
+            self._send_json(504, _error_body("deadline_exceeded", str(error)))
         except ServiceClosedError as error:
-            self._send_json(503, {"error": str(error)})
+            self._send_json(503, _error_body("service_closed", str(error)))
         except ReproError as error:
             # Library-level rejection of a well-formed HTTP request
             # (empty example pool, empty target column, ...).
-            self._send_json(400, {"error": str(error)})
+            self._send_json(400, _error_body("invalid_request", str(error)))
         except Exception as error:
             # Anything else (a failing model inside the batch, a bug):
             # the client must still get a status line, not a dropped
             # keep-alive connection.
-            self._send_json(500, {"error": f"internal error: {error}"})
+            self._send_json(
+                500, _error_body("internal", f"internal error: {error}")
+            )
 
     def _handle_transform(self, payload: dict) -> None:
+        _check_fields(payload, _TRANSFORM_FIELDS)
         predictions = self.server.service.transform(
             _string_list(payload, "sources"),
             _example_pairs(payload),
@@ -234,39 +349,44 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(
             200,
             {
-                "predictions": [
-                    {
-                        "source": p.source,
-                        "value": p.value,
-                        "votes": p.votes,
-                        "candidates": list(p.candidates),
-                    }
-                    for p in predictions
-                ]
+                "schema_version": SCHEMA_VERSION,
+                "predictions": [p.to_dict() for p in predictions],
             },
         )
 
     def _handle_join(self, payload: dict) -> None:
+        _check_fields(payload, _JOIN_FIELDS)
+        mode = _join_mode(payload)
+        sources = _string_list(payload, "sources")
+        targets = _string_list(payload, "targets")
         results = self.server.service.join(
-            _string_list(payload, "sources"),
-            _string_list(payload, "targets"),
+            sources,
+            targets,
             _example_pairs(payload),
             timeout=_timeout(payload),
+            mode=mode,
+            k=_join_k(payload),
+            margin=_join_margin(payload),
         )
-        self._send_json(
-            200,
-            {
-                "results": [
-                    {
-                        "source": r.source,
-                        "predicted": r.predicted,
-                        "matched": r.matched,
-                        "distance": r.distance,
-                    }
-                    for r in results
-                ]
-            },
-        )
+        body: dict = {"schema_version": SCHEMA_VERSION, "mode": mode}
+        if mode == "reverse":
+            # ``results`` is one group of source-row indices per target
+            # row; ship the non-empty groups plus the leftover sources.
+            matched: set[int] = set()
+            groups = []
+            for row, group in enumerate(results):
+                if group:
+                    groups.append(
+                        {"row": row, "target": targets[row], "sources": group}
+                    )
+                    matched.update(group)
+            body["groups"] = groups
+            body["unmatched"] = [
+                i for i in range(len(sources)) if i not in matched
+            ]
+        else:
+            body["results"] = [r.to_dict() for r in results]
+        self._send_json(200, body)
 
 
 class TransformServiceServer(ThreadingHTTPServer):

@@ -6,10 +6,12 @@ DTTPipeline` into a serving subsystem: concurrent callers submit
 every request that arrives within a ``max_wait_ms`` window (or up to
 ``max_batch_rows`` source rows) into **one** execution — a single
 scheduled :meth:`~repro.infer.engine.GenerationEngine.run_with_stats`
-pass over all requests' prompts, and a single
-:meth:`~repro.core.joiner.EditDistanceJoiner.join_many` per distinct
-target column.  Under load, p50 latency stays near the single-request
-cost while throughput scales with concurrency, because the engine's
+pass over all requests' prompts, and a single joiner call per distinct
+``(target column, mode, k, margin)`` group — joins support the full
+redesigned query surface (``argmin`` / ``topk`` / ``reverse``, see
+:meth:`TransformService.submit_join`).  Under load, p50 latency stays
+near the single-request cost while throughput scales with concurrency,
+because the engine's
 micro-batches vectorize across requests and the join amortizes its
 index work across every probe of the batch.
 
@@ -56,6 +58,8 @@ from dataclasses import asdict, dataclass
 from typing import Literal
 
 from repro.core.interface import IncrementalSequenceModel
+from repro.core.join_config import JOIN_MODES
+from repro.core.joiner import invert_matches
 from repro.core.pipeline import DTTPipeline
 from repro.core.serializer import SubTask
 from repro.exceptions import (
@@ -70,7 +74,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.serve.cache import ResultCache, examples_fingerprint
-from repro.types import ExamplePair, JoinResult, Prediction
+from repro.types import ExamplePair, Prediction
 
 
 @dataclass(frozen=True)
@@ -158,6 +162,9 @@ class _Request:
         "sources",
         "examples",
         "targets",
+        "mode",
+        "k",
+        "margin",
         "future",
         "deadline",
         "submitted_at",
@@ -171,11 +178,17 @@ class _Request:
         targets: tuple[str, ...] | None,
         deadline: float | None,
         submitted_at: float = 0.0,
+        mode: str = "argmin",
+        k: int = 1,
+        margin: float | None = None,
     ) -> None:
         self.kind = kind
         self.sources = sources
         self.examples = examples
         self.targets = targets
+        self.mode = mode
+        self.k = k
+        self.margin = margin
         self.future: Future = Future()
         self.deadline = deadline
         self.submitted_at = submitted_at
@@ -389,11 +402,39 @@ class TransformService:
         targets: Sequence[str],
         examples: Sequence[ExamplePair],
         timeout: float | None = None,
+        *,
+        mode: str = "argmin",
+        k: int = 1,
+        margin: float | None = None,
     ) -> Future:
-        """Enqueue a join; the future resolves to ``list[JoinResult]``."""
+        """Enqueue a join; the future's type depends on ``mode``.
+
+        ``"argmin"`` resolves to ``list[JoinResult]`` (the classic
+        Eq. 5 join), ``"topk"`` to ``list[TopKJoinResult]`` with up to
+        ``k`` ranked candidates per row and optional ``margin``
+        abstention, ``"reverse"`` to ``list[list[int]]`` — one group of
+        source-row indices per target row.  Requests sharing
+        ``(targets, mode, k, margin)`` within a micro-batch coalesce
+        into one joiner call.
+        """
         if not targets:
             raise JoinError("cannot join into an empty target column")
-        return self._submit("join", sources, examples, tuple(targets), timeout)
+        if mode not in JOIN_MODES:
+            raise JoinError(f"mode must be one of {JOIN_MODES}, got {mode!r}")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise JoinError(f"k must be an int >= 1, got {k!r}")
+        if margin is not None and margin < 0:
+            raise JoinError(f"margin must be >= 0, got {margin}")
+        return self._submit(
+            "join",
+            sources,
+            examples,
+            tuple(targets),
+            timeout,
+            mode=mode,
+            k=k,
+            margin=margin,
+        )
 
     def transform(
         self,
@@ -410,9 +451,15 @@ class TransformService:
         targets: Sequence[str],
         examples: Sequence[ExamplePair],
         timeout: float | None = None,
-    ) -> list[JoinResult]:
+        *,
+        mode: str = "argmin",
+        k: int = 1,
+        margin: float | None = None,
+    ) -> list:
         """Blocking :meth:`submit_join`."""
-        return self.submit_join(sources, targets, examples, timeout).result()
+        return self.submit_join(
+            sources, targets, examples, timeout, mode=mode, k=k, margin=margin
+        ).result()
 
     def _submit(
         self,
@@ -421,6 +468,9 @@ class TransformService:
         examples: Sequence[ExamplePair],
         targets: tuple[str, ...] | None,
         timeout: float | None,
+        mode: str = "argmin",
+        k: int = 1,
+        margin: float | None = None,
     ) -> Future:
         timeout = timeout if timeout is not None else self.default_timeout
         now = self._clock()
@@ -432,6 +482,9 @@ class TransformService:
             targets,
             deadline,
             submitted_at=now,
+            mode=mode,
+            k=k,
+            margin=margin,
         )
         with self._cond:
             if self._closing:
@@ -645,7 +698,7 @@ class TransformService:
 
     def _deliver(self, plans: list[_Plan]) -> None:
         """Store cache entries, resolve transforms, run coalesced joins."""
-        join_groups: dict[tuple[str, ...], list[_Plan]] = {}
+        join_groups: dict[tuple, list[_Plan]] = {}
         for plan in plans:
             request = plan.request
             predictions = plan.predictions
@@ -663,37 +716,40 @@ class TransformService:
                 request.future.set_result(list(predictions))
             else:
                 assert request.targets is not None
-                join_groups.setdefault(request.targets, []).append(plan)
-        for targets, group in join_groups.items():
-            probes = [
-                prediction.value
+                key = (
+                    request.targets,
+                    request.mode,
+                    request.k,
+                    request.margin,
+                )
+                join_groups.setdefault(key, []).append(plan)
+        for (targets, mode, k, margin), group in join_groups.items():
+            flat = [
+                prediction
                 for plan in group
                 for prediction in plan.predictions
             ]
-            matches = self.pipeline.joiner.join_many(probes, targets)
-            self._counters.joined_rows += len(probes)
-            self.last_join_stats = getattr(
-                self.pipeline.joiner, "last_join_stats", None
-            )
+            joiner = self.pipeline.joiner
+            if mode == "topk":
+                results = joiner.join_topk(flat, targets, k=k, margin=margin)
+            elif mode == "reverse":
+                # One forward join over the whole group; each request
+                # gets its own inversion of its slice, so per-request
+                # results never depend on what else shared the batch.
+                results = joiner.join_many([p.value for p in flat], targets)
+            else:
+                results = joiner.join(flat, targets)
+            self._counters.joined_rows += len(flat)
+            self.last_join_stats = getattr(joiner, "last_join_stats", None)
             offset = 0
             for plan in group:
                 request = plan.request
-                results = [
-                    JoinResult(
-                        source=prediction.source,
-                        predicted=prediction.value,
-                        matched=matched,
-                        expected="",
-                        distance=distance,
-                    )
-                    for prediction, (matched, distance) in zip(
-                        plan.predictions,
-                        matches[offset : offset + len(plan.predictions)],
-                        strict=True,
-                    )
-                ]
+                span = results[offset : offset + len(plan.predictions)]
                 offset += len(plan.predictions)
-                request.future.set_result(results)
+                if mode == "reverse":
+                    request.future.set_result(invert_matches(span, targets))
+                else:
+                    request.future.set_result(list(span))
 
     # -- observability and lifecycle ---------------------------------------
 

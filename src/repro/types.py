@@ -10,6 +10,12 @@ source->target example pairs.  These dataclasses capture that vocabulary:
 * :class:`Prediction` — the framework's output for one source row.
 * :class:`JoinResult` — the outcome of matching one predicted value
   against the target column (Eq. 5 of the paper).
+* :class:`JoinCandidate` / :class:`TopKJoinResult` — one ranked
+  candidate and the full outcome of a top-k join query.
+
+Result types expose ``to_dict()`` — the single serialization schema
+consumed by both the eval reports and the HTTP serving layer, so the
+wire format and the report format cannot drift apart.
 """
 
 from __future__ import annotations
@@ -131,6 +137,15 @@ class Prediction:
             return 0.0
         return self.votes / len(self.candidates)
 
+    def to_dict(self) -> dict:
+        """Serialize for reports and HTTP responses (one schema)."""
+        return {
+            "source": self.source,
+            "value": self.value,
+            "votes": self.votes,
+            "candidates": list(self.candidates),
+        }
+
 
 @dataclass(frozen=True)
 class JoinResult:
@@ -155,3 +170,82 @@ class JoinResult:
     def correct(self) -> bool:
         """True when the join selected the ground-truth target row."""
         return self.matched is not None and self.matched == self.expected
+
+    def to_dict(self) -> dict:
+        """Serialize for reports and HTTP responses (one schema)."""
+        return {
+            "source": self.source,
+            "predicted": self.predicted,
+            "matched": self.matched,
+            "expected": self.expected,
+            "distance": self.distance,
+            "correct": self.correct,
+        }
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """One ranked candidate from a top-k join query.
+
+    Attributes:
+        value: The target-column value.
+        distance: Edit distance between the probe and ``value``.
+        row: Earliest target row holding ``value``.
+    """
+
+    value: str
+    distance: int
+    row: int
+
+    def to_dict(self) -> dict:
+        """Serialize for reports and HTTP responses (one schema)."""
+        return {"value": self.value, "distance": self.distance, "row": self.row}
+
+
+@dataclass(frozen=True)
+class TopKJoinResult:
+    """Outcome of a top-k join query for one probe.
+
+    Candidates are the up-to-k nearest *distinct* target values, ranked
+    by ``(distance, row)``.  ``matched`` is the rank-1 candidate unless
+    the joiner's thresholds reject it or the margin abstention rule
+    fires; ``margin`` records the observed normalized gap between the
+    rank-1 and rank-2 candidates (``None`` when fewer than two distinct
+    candidates were ranked).
+
+    Attributes:
+        source: The source row being joined.
+        predicted: The probe value that was matched.
+        candidates: Ranked :class:`JoinCandidate` tuple (may be empty
+            for an abstained/empty probe).
+        matched: Selected target value, or ``None`` on abstention.
+        distance: Edit distance of the rank-1 candidate (0 when there
+            are no candidates).
+        margin: Observed normalized rank-1/rank-2 distance gap.
+        expected: Ground-truth target value (``""`` when unknown).
+    """
+
+    source: str
+    predicted: str
+    candidates: tuple[JoinCandidate, ...]
+    matched: str | None
+    distance: int = 0
+    margin: float | None = None
+    expected: str = ""
+
+    @property
+    def correct(self) -> bool:
+        """True when the join selected the ground-truth target row."""
+        return self.matched is not None and self.matched == self.expected
+
+    def to_dict(self) -> dict:
+        """Serialize for reports and HTTP responses (one schema)."""
+        return {
+            "source": self.source,
+            "predicted": self.predicted,
+            "matched": self.matched,
+            "expected": self.expected,
+            "distance": self.distance,
+            "margin": self.margin,
+            "candidates": [c.to_dict() for c in self.candidates],
+        }

@@ -12,10 +12,12 @@ a correctness bug.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 
 import pytest
 from repro.utils.fuzz import random_edits, random_unicode_string
 
+from repro.core.join_config import JoinConfig
 from repro.core.joiner import EditDistanceJoiner
 from repro.datagen.benchmarks.registry import dataset_names, get_dataset
 from repro.exceptions import JoinError
@@ -26,9 +28,9 @@ from repro.types import Prediction
 _SEED = 987
 
 _JOINER_VARIANTS = (
-    {},
-    {"max_distance": 2},
-    {"normalized_threshold": 0.34},
+    JoinConfig(),
+    JoinConfig(max_distance=2),
+    JoinConfig(normalized_threshold=0.34),
 )
 
 
@@ -54,9 +56,9 @@ class TestRegistryDatasetEquivalence:
     def test_join_results_identical_on_dataset(self, name):
         rng = random.Random(_SEED)
         tables = get_dataset(name, seed=0, scale=0.05)
-        for kwargs in _JOINER_VARIANTS:
-            brute = EditDistanceJoiner(**kwargs)
-            indexed = IndexedJoiner(**kwargs)
+        for config in _JOINER_VARIANTS:
+            brute = EditDistanceJoiner(config)
+            indexed = IndexedJoiner(config)
             for table in tables:
                 targets = list(table.targets)
                 predictions = _predictions_for(targets, rng)
@@ -66,7 +68,7 @@ class TestRegistryDatasetEquivalence:
                 ) == brute.join(predictions, targets, expected_rows), (
                     name,
                     table.name,
-                    kwargs,
+                    config,
                 )
 
 
@@ -77,20 +79,20 @@ class TestJoinManyEquivalence:
     def test_batch_vs_scalar_on_dataset(self, name):
         rng = random.Random(_SEED + 10)
         tables = get_dataset(name, seed=0, scale=0.05)
-        for kwargs in _JOINER_VARIANTS:
-            indexed = IndexedJoiner(**kwargs)
-            brute = EditDistanceJoiner(**kwargs)
+        for config in _JOINER_VARIANTS:
+            indexed = IndexedJoiner(config)
+            brute = EditDistanceJoiner(config)
             for table in tables:
                 targets = list(table.targets)
                 probes = [p.value for p in _predictions_for(targets, rng)]
                 batch = indexed.join_many(probes, targets)
                 assert batch == [
                     indexed.match(p, targets) for p in probes
-                ], (name, table.name, kwargs)
+                ], (name, table.name, config)
                 assert batch == brute.join_many(probes, targets), (
                     name,
                     table.name,
-                    kwargs,
+                    config,
                 )
 
     def test_batch_vs_scalar_fuzz(self):
@@ -103,8 +105,8 @@ class TestJoinManyEquivalence:
             targets += [rng.choice(targets) for _ in range(rng.randint(0, 5))]
             targets += [""] * rng.randint(0, 2)
             rng.shuffle(targets)
-            kwargs = rng.choice(_JOINER_VARIANTS)
-            indexed = IndexedJoiner(**kwargs, q=rng.choice((None, 2, 3)))
+            config = rng.choice(_JOINER_VARIANTS)
+            indexed = IndexedJoiner(replace(config, q=rng.choice((None, 2, 3))))
             probes = [
                 rng.choice(
                     (
@@ -118,7 +120,7 @@ class TestJoinManyEquivalence:
             ]
             assert indexed.join_many(probes, targets) == [
                 indexed.match(p, targets) for p in probes
-            ], (probes, targets, kwargs)
+            ], (probes, targets, config)
 
     def test_duplicate_probes_resolved_once_with_identical_results(self):
         targets = ["alpha", "beta", "gamma", "beta"]
@@ -159,9 +161,12 @@ class TestJoinManyEquivalence:
     def test_threshold_abstentions_match_scalar(self):
         targets = ["aaaa", "bbbb", "cccc"]
         probes = ["aaab", "zzzz", "bbbb"]
-        for kwargs in ({"max_distance": 1}, {"normalized_threshold": 0.1}):
-            indexed = IndexedJoiner(**kwargs)
-            brute = EditDistanceJoiner(**kwargs)
+        for config in (
+            JoinConfig(max_distance=1),
+            JoinConfig(normalized_threshold=0.1),
+        ):
+            indexed = IndexedJoiner(config)
+            brute = EditDistanceJoiner(config)
             assert indexed.join_many(probes, targets) == brute.join_many(
                 probes, targets
             )
@@ -178,9 +183,9 @@ class TestRandomizedEquivalence:
             targets += [rng.choice(targets) for _ in range(rng.randint(0, 5))]
             targets += [""] * rng.randint(0, 2)
             rng.shuffle(targets)
-            kwargs = rng.choice(_JOINER_VARIANTS)
-            brute = EditDistanceJoiner(**kwargs)
-            indexed = IndexedJoiner(**kwargs, q=rng.choice((2, 3)))
+            config = rng.choice(_JOINER_VARIANTS)
+            brute = EditDistanceJoiner(config)
+            indexed = IndexedJoiner(replace(config, q=rng.choice((2, 3))))
             for _ in range(4):
                 predicted = rng.choice(
                     (
@@ -192,7 +197,7 @@ class TestRandomizedEquivalence:
                 )
                 assert indexed.match(predicted, targets) == brute.match(
                     predicted, targets
-                ), (predicted, targets, kwargs)
+                ), (predicted, targets, config)
 
     def test_match_many_equivalence_fuzz(self):
         rng = random.Random(_SEED + 2)
@@ -238,7 +243,7 @@ class TestIndexedJoinerContract:
 
     def test_invalid_q(self):
         with pytest.raises(ValueError):
-            IndexedJoiner(q=0)
+            IndexedJoiner(JoinConfig(q=0))
 
     def test_tie_prefers_earliest_target_row(self):
         # "bx" and "cx" are both distance 1 from "x"; row order decides.
@@ -303,7 +308,7 @@ class TestAutoJoiner:
         rng = random.Random(_SEED + 3)
         small = [random_unicode_string(rng, max_length=8) for _ in range(10)]
         large = [random_unicode_string(rng, max_length=8) for _ in range(80)]
-        auto = AutoJoiner(threshold=50)
+        auto = AutoJoiner(JoinConfig(auto_threshold=50))
         brute = EditDistanceJoiner()
         for targets in (small, large):
             for _ in range(10):
@@ -316,7 +321,7 @@ class TestAutoJoiner:
                 )
 
     def test_picks_indexed_at_threshold(self):
-        auto = AutoJoiner(threshold=3)
+        auto = AutoJoiner(JoinConfig(auto_threshold=3))
         assert auto._delegate(["a", "b"]) is auto._brute
         assert auto._delegate(["a", "b", "c"]) is auto._indexed
 
@@ -346,7 +351,7 @@ class TestAutoJoiner:
                 )
 
     def test_join_inherited_path(self):
-        auto = AutoJoiner(threshold=2)
+        auto = AutoJoiner(JoinConfig(auto_threshold=2))
         predictions = [Prediction(source="s", value="aaa")]
         results = auto.join(predictions, ["aaa", "bbb"], expected=["aaa"])
         assert results[0].matched == "aaa"
@@ -354,7 +359,7 @@ class TestAutoJoiner:
 
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
-            AutoJoiner(threshold=-1)
+            AutoJoiner(JoinConfig(auto_threshold=-1))
 
     def test_empty_targets_raise_via_delegate(self):
         with pytest.raises(JoinError):
@@ -368,10 +373,12 @@ class TestMakeJoiner:
         assert type(make_joiner("auto")) is AutoJoiner
 
     def test_parameters_forwarded(self):
-        joiner = make_joiner("indexed", max_distance=3, q=3)
+        joiner = make_joiner("indexed", JoinConfig(max_distance=3, q=3))
         assert joiner.max_distance == 3
         assert joiner.q == 3
-        auto = make_joiner("auto", auto_threshold=7, normalized_threshold=0.5)
+        auto = make_joiner(
+            "auto", JoinConfig(auto_threshold=7, normalized_threshold=0.5)
+        )
         assert auto.threshold == 7
         assert auto._indexed.normalized_threshold == 0.5
 

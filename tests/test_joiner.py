@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.join_config import JoinConfig
 from repro.core.joiner import EditDistanceJoiner
 from repro.exceptions import JoinError
 from repro.text.edit_distance import edit_distance
@@ -36,13 +37,13 @@ class TestMatch:
             EditDistanceJoiner().match("abc", [])
 
     def test_max_distance_rejects_far_matches(self):
-        joiner = EditDistanceJoiner(max_distance=1)
+        joiner = EditDistanceJoiner(JoinConfig(max_distance=1))
         value, distance = joiner.match("aaaa", ["zzzz"])
         assert value is None
         assert distance == 4
 
     def test_normalized_threshold(self):
-        joiner = EditDistanceJoiner(normalized_threshold=0.25)
+        joiner = EditDistanceJoiner(JoinConfig(normalized_threshold=0.25))
         value, _ = joiner.match("abcd", ["abce"])  # distance 1/4 = 0.25: kept
         assert value == "abce"
         value, _ = joiner.match("abcd", ["abzz"])  # 2/4 = 0.5: rejected
@@ -68,9 +69,9 @@ class TestMatch:
 
     def test_invalid_params(self):
         with pytest.raises(ValueError):
-            EditDistanceJoiner(max_distance=-1)
+            EditDistanceJoiner(JoinConfig(max_distance=-1))
         with pytest.raises(ValueError):
-            EditDistanceJoiner(normalized_threshold=-0.5)
+            EditDistanceJoiner(JoinConfig(normalized_threshold=-0.5))
 
     @given(short, st.lists(short, min_size=1, max_size=8))
     @settings(max_examples=150)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.obs import (
+    GATED_BENCHES,
     MANIFEST_VERSION,
     Counter,
     Gauge,
@@ -275,25 +276,13 @@ def _passing_block() -> dict:
 
 class TestBuildManifest:
     def test_all_green_verdict_passes(self):
-        benches = {name: _passing_block() for name in (
-            "generate",
-            "join_batch",
-            "join_scaling",
-            "join_parallel",
-            "serve",
-        )}
+        benches = {name: _passing_block() for name in GATED_BENCHES}
         manifest = build_manifest("run-1", provenance(), benches, mode="smoke")
         assert manifest["verdict"] == {"passed": True, "failures": []}
         assert manifest["manifest_version"] == MANIFEST_VERSION
 
     def test_every_regression_class_fails_the_verdict(self):
-        benches = {name: _passing_block() for name in (
-            "generate",
-            "join_batch",
-            "join_scaling",
-            "join_parallel",
-            "serve",
-        )}
+        benches = {name: _passing_block() for name in GATED_BENCHES}
         benches["generate"]["ran"] = False
         benches["join_batch"]["committed_found"] = False
         benches["serve"]["floors"] = {"passed": False, "detail": "2x floor"}
@@ -310,13 +299,7 @@ class TestBuildManifest:
         manifest = build_manifest(
             "run-3",
             provenance(),
-            {name: _passing_block() for name in (
-                "generate",
-                "join_batch",
-                "join_scaling",
-                "join_parallel",
-                "serve",
-            )},
+            {name: _passing_block() for name in GATED_BENCHES},
             eval_rows=[{"dataset": "WT", "f1": 0.9}],
         )
         path = tmp_path / "run_manifest.json"

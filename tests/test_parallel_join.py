@@ -12,10 +12,12 @@ counters threaded into eval reports.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 
 import pytest
 from repro.utils.fuzz import random_edits, random_unicode_string
 
+from repro.core.join_config import JoinConfig
 from repro.datagen.benchmarks.registry import dataset_names, get_dataset
 from repro.index import IndexCache, IndexedJoiner, JoinStats
 from repro.index.parallel import plan_shards
@@ -54,10 +56,12 @@ class TestParallelEquivalence:
         tables = get_dataset(name, seed=0, scale=0.05)
         targets = [value for table in tables for value in table.targets]
         probes = _probe_mix(rng, targets, len(targets))
-        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
+        serial = IndexedJoiner(JoinConfig(n_workers=1), cache=IndexCache())
         expected = serial.join_many(probes, targets)
         for n_workers in (1, 2, 4):
-            joiner = IndexedJoiner(cache=IndexCache(), n_workers=n_workers)
+            joiner = IndexedJoiner(
+                JoinConfig(n_workers=n_workers), cache=IndexCache()
+            )
             assert joiner.join_many(probes, targets) == expected, (
                 name,
                 n_workers,
@@ -70,12 +74,19 @@ class TestParallelEquivalence:
             for _ in range(300)
         ]
         probes = _probe_mix(rng, targets, 200)
-        for kwargs in ({"max_distance": 2}, {"normalized_threshold": 0.34}):
-            serial = IndexedJoiner(cache=IndexCache(), n_workers=1, **kwargs)
-            parallel = IndexedJoiner(cache=IndexCache(), n_workers=2, **kwargs)
+        for config in (
+            JoinConfig(max_distance=2),
+            JoinConfig(normalized_threshold=0.34),
+        ):
+            serial = IndexedJoiner(
+                replace(config, n_workers=1), cache=IndexCache()
+            )
+            parallel = IndexedJoiner(
+                replace(config, n_workers=2), cache=IndexCache()
+            )
             assert parallel.join_many(probes, targets) == serial.join_many(
                 probes, targets
-            ), kwargs
+            ), config
 
     def test_skewed_single_bucket_is_split_and_identical(self):
         # Every probe shares one length: the planner must split the one
@@ -90,8 +101,8 @@ class TestParallelEquivalence:
         probes = [
             "".join(rng.choice(_ALPHABET) for _ in range(8)) for _ in range(240)
         ]
-        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
-        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        serial = IndexedJoiner(JoinConfig(n_workers=1), cache=IndexCache())
+        parallel = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         assert parallel.join_many(probes, targets) == serial.join_many(
             probes, targets
         )
@@ -105,8 +116,8 @@ class TestParallelEquivalence:
         # auto threshold — and still matches the serial scan.
         targets = ["alpha", "beta", "gamma", "delta", "epsilon"] * 3
         probes = ["alpa", "betta", "gamm", "", "epsilon", "zzzz"]
-        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
-        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        serial = IndexedJoiner(JoinConfig(n_workers=1), cache=IndexCache())
+        parallel = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         assert parallel.join_many(probes, targets) == serial.join_many(
             probes, targets
         )
@@ -125,8 +136,8 @@ class TestParallelEquivalence:
         assert parallel_module._pool_context().get_start_method() != "fork"
         targets = [f"value-{i:04d}" for i in range(300)]
         probes = [f"valu-{i:04d}" for i in range(30)] + ["value-0007", ""]
-        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
-        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        serial = IndexedJoiner(JoinConfig(n_workers=1), cache=IndexCache())
+        parallel = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         assert parallel.join_many(probes, targets) == serial.join_many(
             probes, targets
         )
@@ -135,7 +146,7 @@ class TestParallelEquivalence:
         # Nothing pending: every probe resolves exactly or abstains, so
         # even an explicit worker count must not spawn processes.
         targets = ["alpha", "beta", "gamma"]
-        joiner = IndexedJoiner(cache=IndexCache(), n_workers=4)
+        joiner = IndexedJoiner(JoinConfig(n_workers=4), cache=IndexCache())
         assert joiner.join_many(["alpha", "", "beta"], targets) == [
             ("alpha", 0),
             (None, 0),
@@ -161,8 +172,8 @@ class TestPersistentPool:
             ]
             for _ in range(2)
         ]
-        serial = IndexedJoiner(cache=IndexCache(), n_workers=1)
-        parallel = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        serial = IndexedJoiner(JoinConfig(n_workers=1), cache=IndexCache())
+        parallel = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         pools = []
         for targets in columns + columns:  # repeat: warm-pool path
             probes = _probe_mix(rng, targets, 120)
@@ -177,7 +188,7 @@ class TestPersistentPool:
     def test_close_allows_later_reuse(self):
         targets = [f"value-{i:04d}" for i in range(200)]
         probes = [f"valu-{i:04d}" for i in range(40)]
-        joiner = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        joiner = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         first = joiner.join_many(probes, targets)
         joiner.close()
         assert joiner.join_many(probes, targets) == first  # fresh pool
@@ -186,7 +197,7 @@ class TestPersistentPool:
     def test_context_manager_closes_pool(self):
         targets = [f"value-{i:04d}" for i in range(200)]
         probes = [f"valu-{i:04d}" for i in range(40)]
-        with IndexedJoiner(cache=IndexCache(), n_workers=2) as joiner:
+        with IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache()) as joiner:
             joiner.join_many(probes, targets)
             pool = joiner._pool
             assert pool is not None
@@ -196,7 +207,7 @@ class TestPersistentPool:
     def test_worker_count_change_rebuilds_pool(self):
         targets = [f"value-{i:04d}" for i in range(200)]
         probes = [f"valu-{i:04d}" for i in range(40)]
-        joiner = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        joiner = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         expected = joiner.join_many(probes, targets)
         first_pool = joiner._pool
         joiner.n_workers = 3
@@ -213,7 +224,7 @@ class TestPersistentPool:
 
         targets = [f"value-{i:04d}" for i in range(220)]
         probes = [f"valu-{i:04d}" for i in range(40)]
-        joiner = IndexedJoiner(cache=IndexCache(), n_workers=2)
+        joiner = IndexedJoiner(JoinConfig(n_workers=2), cache=IndexCache())
         expected = joiner.join_many(probes, targets)
         pool = joiner._pool
         was_fork = pool._fork_started
@@ -258,7 +269,7 @@ class TestPersistentPool:
 
         targets = [f"value-{i:04d}" for i in range(300)]
         probes = [f"valu-{i:04d}" for i in range(40)]
-        with AutoJoiner(cache=IndexCache(), n_workers=2) as joiner:
+        with AutoJoiner(JoinConfig(n_workers=2), cache=IndexCache()) as joiner:
             joiner.join_many(probes, targets)
             assert joiner._indexed._pool is not None
         assert joiner._indexed._pool is None
@@ -267,12 +278,12 @@ class TestPersistentPool:
 class TestWorkerPolicy:
     def test_explicit_workers_validated(self):
         with pytest.raises(ValueError):
-            IndexedJoiner(n_workers=0)
+            IndexedJoiner(JoinConfig(n_workers=0))
         with pytest.raises(ValueError):
-            IndexedJoiner(parallel_threshold=-1)
+            IndexedJoiner(JoinConfig(parallel_threshold=-1))
 
     def test_auto_mode_respects_threshold_and_cpu_count(self, monkeypatch):
-        joiner = IndexedJoiner(cache=IndexCache(), parallel_threshold=100)
+        joiner = IndexedJoiner(JoinConfig(parallel_threshold=100), cache=IndexCache())
         monkeypatch.setattr("os.cpu_count", lambda: 4)
         assert joiner._resolve_workers(99) == 1
         assert joiner._resolve_workers(100) == 4
@@ -285,7 +296,8 @@ class TestWorkerPolicy:
 
     def test_explicit_workers_bypass_threshold(self):
         joiner = IndexedJoiner(
-            cache=IndexCache(), n_workers=3, parallel_threshold=10**9
+            JoinConfig(n_workers=3, parallel_threshold=10**9),
+            cache=IndexCache(),
         )
         assert joiner._resolve_workers(5) == 3
         assert joiner._resolve_workers(0) == 1
@@ -360,7 +372,7 @@ class TestJoinStatsThreading:
         ]
         probes = _probe_mix(rng, targets, 150)
         joiner = IndexedJoiner(
-            cache=IndexCache(cache_dir=tmp_path), n_workers=2
+            JoinConfig(n_workers=2), cache=IndexCache(cache_dir=tmp_path)
         )
         expected = joiner.join_many(probes, targets)
         stats = joiner.last_join_stats
@@ -379,7 +391,7 @@ class TestJoinStatsThreading:
             parallel_module.threading, "active_count", lambda: 2
         )
         fresh = IndexedJoiner(
-            cache=IndexCache(cache_dir=tmp_path), n_workers=2
+            JoinConfig(n_workers=2), cache=IndexCache(cache_dir=tmp_path)
         )
         assert fresh.join_many(probes, targets) == expected
         assert fresh.last_join_stats.disk_hits >= 2
@@ -399,9 +411,11 @@ class TestJoinStatsThreading:
         assert join_stats["probes"] == len(table.split(0.5)[1])
         assert join_stats["n_workers"] == 1  # small table stays serial
 
-    def test_pipeline_forwards_n_workers(self):
+    def test_pipeline_forwards_join_config(self):
         from repro.core.pipeline import DTTPipeline
         from repro.surrogate import PretrainedDTT
 
-        pipeline = DTTPipeline(PretrainedDTT(seed=0), n_workers=2)
+        pipeline = DTTPipeline(
+            PretrainedDTT(seed=0), join_config=JoinConfig(n_workers=2)
+        )
         assert pipeline.joiner._indexed.n_workers == 2

@@ -731,3 +731,250 @@ class TestHttpHardening:
             body=body,
         )
         assert self._raw(host, port, request) == 503
+
+
+class TestTopKServing:
+    """Mode-aware coalescing must stay invisible to every client."""
+
+    @pytest.mark.parametrize("clients", [1, 4, 16])
+    def test_topk_matches_direct_pipeline(self, clients):
+        direct = _surrogate_pipeline()
+        rows = ["Kim Campbell", "Paul Martin", "Justin Trudeau"]
+        expected = {}
+        for row in rows:
+            predictions = direct.transform_column([row], _EXAMPLES)
+            expected[row] = direct.joiner.join_topk(
+                predictions, list(_TARGETS), k=3, margin=0.2
+            )
+        with TransformService(
+            _surrogate_pipeline(), max_wait_ms=5.0
+        ) as service:
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                futures = {
+                    pool.submit(
+                        service.join,
+                        [row],
+                        list(_TARGETS),
+                        _EXAMPLES,
+                        mode="topk",
+                        k=3,
+                        margin=0.2,
+                    ): row
+                    for row in rows * 4
+                }
+                for future, row in futures.items():
+                    assert future.result() == expected[row], row
+
+    @pytest.mark.parametrize("clients", [1, 4])
+    def test_reverse_matches_direct_pipeline(self, clients):
+        from repro.core.joiner import invert_matches
+
+        direct = _surrogate_pipeline()
+        rows = ["Kim Campbell", "Paul Martin"]
+        expected = {}
+        for row in rows:
+            predictions = direct.transform_column([row], _EXAMPLES)
+            matches = direct.joiner.join_many(
+                [p.value for p in predictions], list(_TARGETS)
+            )
+            expected[row] = invert_matches(matches, list(_TARGETS))
+        with TransformService(
+            _surrogate_pipeline(), max_wait_ms=5.0
+        ) as service:
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                futures = {
+                    pool.submit(
+                        service.join,
+                        [row],
+                        list(_TARGETS),
+                        _EXAMPLES,
+                        mode="reverse",
+                    ): row
+                    for row in rows * 3
+                }
+                for future, row in futures.items():
+                    assert future.result() == expected[row], row
+
+    def test_distinct_modes_never_share_a_group(self):
+        # One batch, same targets, three modes: each request must get
+        # its own mode's result shape.
+        direct = _surrogate_pipeline()
+        expected_argmin = direct.join(["Kim Campbell"], list(_TARGETS), _EXAMPLES)
+        with TransformService(
+            _surrogate_pipeline(), max_wait_ms=50.0
+        ) as service:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                argmin = pool.submit(
+                    service.join, ["Kim Campbell"], list(_TARGETS), _EXAMPLES
+                )
+                topk = pool.submit(
+                    service.join,
+                    ["Kim Campbell"],
+                    list(_TARGETS),
+                    _EXAMPLES,
+                    mode="topk",
+                    k=2,
+                )
+                reverse = pool.submit(
+                    service.join,
+                    ["Kim Campbell"],
+                    list(_TARGETS),
+                    _EXAMPLES,
+                    mode="reverse",
+                )
+                assert argmin.result() == expected_argmin
+                topk_result = topk.result()
+                assert len(topk_result) == 1
+                assert len(topk_result[0].candidates) <= 2
+                reverse_result = reverse.result()
+                assert len(reverse_result) == len(_TARGETS)
+
+    def test_submit_validation(self):
+        with TransformService(_surrogate_pipeline()) as service:
+            with pytest.raises(JoinError):
+                service.submit_join(
+                    ["a"], list(_TARGETS), _EXAMPLES, mode="nearest"
+                )
+            with pytest.raises(JoinError):
+                service.submit_join(["a"], list(_TARGETS), _EXAMPLES, k=0)
+            with pytest.raises(JoinError):
+                service.submit_join(["a"], list(_TARGETS), _EXAMPLES, k=True)
+            with pytest.raises(JoinError):
+                service.submit_join(
+                    ["a"], list(_TARGETS), _EXAMPLES, margin=-0.1
+                )
+
+
+class TestHttpJoinSchema:
+    """Versioned payloads and structured validation errors."""
+
+    @pytest.fixture()
+    def server(self):
+        service = TransformService(_surrogate_pipeline(), max_wait_ms=1.0)
+        server = start_http_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    @staticmethod
+    def _post(base: str, path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            base + path,
+            json.dumps(payload).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.load(response)
+
+    def _post_error(self, base: str, path: str, payload: dict) -> dict:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(base, path, payload)
+        assert excinfo.value.code == 400
+        body = json.load(excinfo.value)
+        error = body["error"]
+        assert set(error) <= {"code", "field", "detail"}
+        assert error["code"] and error["detail"]
+        return error
+
+    def _join_payload(self, **overrides) -> dict:
+        payload = {
+            "sources": ["Kim Campbell"],
+            "targets": list(_TARGETS),
+            "examples": [pair.as_tuple() for pair in _EXAMPLES],
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_responses_carry_schema_version(self, server):
+        examples = [pair.as_tuple() for pair in _EXAMPLES]
+        transform = self._post(
+            server,
+            "/v1/transform",
+            {"sources": ["Kim Campbell"], "examples": examples},
+        )
+        assert transform["schema_version"] == 1
+        join = self._post(server, "/v1/join", self._join_payload())
+        assert join["schema_version"] == 1
+        assert join["mode"] == "argmin"
+
+    def test_topk_over_http_matches_direct(self, server):
+        direct = _surrogate_pipeline()
+        predictions = direct.transform_column(["Kim Campbell"], _EXAMPLES)
+        expected = direct.joiner.join_topk(
+            predictions, list(_TARGETS), k=3, margin=0.2
+        )
+        body = self._post(
+            server,
+            "/v1/join",
+            self._join_payload(mode="topk", k=3, margin=0.2),
+        )
+        assert body["mode"] == "topk"
+        assert body["results"] == [r.to_dict() for r in expected]
+
+    def test_reverse_over_http_groups_and_unmatched(self, server):
+        body = self._post(
+            server, "/v1/join", self._join_payload(mode="reverse")
+        )
+        assert body["mode"] == "reverse"
+        grouped = {
+            index for group in body["groups"] for index in group["sources"]
+        }
+        assert grouped | set(body["unmatched"]) == {0}
+        for group in body["groups"]:
+            assert group["target"] in _TARGETS
+            assert group["sources"]
+
+    def test_unknown_field_is_structured_400(self, server):
+        error = self._post_error(
+            server, "/v1/join", self._join_payload(topk=3)
+        )
+        assert error["code"] == "unknown_field"
+        assert error["field"] == "topk"
+
+    def test_unknown_transform_field_is_structured_400(self, server):
+        error = self._post_error(
+            server,
+            "/v1/transform",
+            {"sources": ["a"], "examples": [], "targets": ["b"]},
+        )
+        assert error["code"] == "unknown_field"
+        assert error["field"] == "targets"
+
+    @pytest.mark.parametrize(
+        "overrides, field",
+        [
+            ({"mode": "nearest"}, "mode"),
+            ({"mode": 3}, "mode"),
+            ({"k": 0}, "k"),
+            ({"k": "2"}, "k"),
+            ({"k": True}, "k"),
+            ({"margin": -0.5}, "margin"),
+            ({"margin": "wide"}, "margin"),
+            ({"margin": True}, "margin"),
+            ({"sources": "nope"}, "sources"),
+            ({"targets": [1, 2]}, "targets"),
+            ({"timeout_s": True}, "timeout_s"),
+        ],
+    )
+    def test_invalid_values_are_structured_400(self, server, overrides, field):
+        error = self._post_error(
+            server, "/v1/join", self._join_payload(**overrides)
+        )
+        assert error["code"] == "invalid_value"
+        assert error["field"] == field
+
+    def test_empty_targets_is_structured_400(self, server):
+        error = self._post_error(
+            server, "/v1/join", self._join_payload(targets=[])
+        )
+        assert error["code"] == "invalid_request"
+
+    def test_not_found_is_structured(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/v1/nope", {"sources": []})
+        assert excinfo.value.code == 404
+        assert json.load(excinfo.value)["error"]["code"] == "not_found"
