@@ -1,0 +1,266 @@
+"""Edit-distance kernel backends: reference DP vs bit-parallel vs banded.
+
+The pluggable kernel layer (``repro.index.kernels``) promises byte
+equivalence with the reference numpy DP and buys speed on the two
+regimes the JAB workload actually exercises:
+
+* **short** — journal titles (median ~27 chars, one 64-bit word) at the
+  small caps the joiner's ladder probes; Myers' bit-parallel sweep
+  advances a whole DP column per candidate in a handful of uint64 ops.
+* **long** — concatenated-title strings past the one-word sweet spot
+  (~100+ chars, multi-block chaining), where the banded (Ukkonen) DP's
+  ``2*cap + 1`` diagonal band does asymptotically less work per row.
+
+Each regime times ``edit_distance_codes`` — the candidate-sweep entry
+point the blocked joiner drives hardest — for every backend over the
+same probe set, after asserting all outputs are byte-identical to the
+reference.  A separate row records the ``encode_strings`` vectorized
+codepoint path against the retired per-string loop.
+
+Results go to ``BENCH_kernels.json`` at the repository root.  Run
+directly for the full sweep, or with ``--smoke`` for the CI-gated
+seconds-scale run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from bench_utils import (
+    artifact_path,
+    emit_report,
+    parse_bench_args,
+    stamp_provenance,
+)
+from conftest import persist
+
+from repro.datagen.benchmarks.journals import JOURNAL_TITLES, PROFILES
+from repro.index.kernel import encode_strings
+from repro.index.kernels import get_backend
+from repro.text.edit_distance import codepoints
+
+_SEED = 31
+_CAPS = (2, 4)
+_BACKENDS = ("reference", "bitparallel", "banded")
+# (candidate rows, probes) per regime; brute reference DP is the
+# baseline, so probes stay modest while the column carries the load.
+_SIZES = {"short": (4000, 60), "long": (1500, 30)}
+_SMOKE_SIZES = {"short": (1500, 25), "long": (600, 12)}
+_JSON_PATH = artifact_path("kernels")
+
+# CI-enforced floors on the bit-parallel speedup over the reference DP
+# for short strings at cap <= 4.  Measured margin is ~8x; the smoke
+# floor leaves headroom for noisy runners while the full sweep must
+# record the >= 5x the kernel layer was built to deliver.
+_FULL_FLOOR = 5.0
+_SMOKE_FLOOR = 3.0
+
+#: Vocabulary harvested from the canonical titles, for scaling the
+#: column past the real pool without leaving the domain.
+_VOCABULARY = sorted({word for title in JOURNAL_TITLES for word in title.split()})
+
+
+def _titles(rng: np.random.Generator, n_rows: int) -> list[str]:
+    """The JAB-style scaled title column (same recipe as bench_join_topk)."""
+    targets = list(JOURNAL_TITLES)
+    seen = set(targets)
+    while len(targets) < n_rows:
+        n_words = int(rng.integers(2, 6))
+        words = [
+            _VOCABULARY[int(i)]
+            for i in rng.integers(0, len(_VOCABULARY), size=n_words)
+        ]
+        title = " ".join(words)
+        if title not in seen:
+            seen.add(title)
+            targets.append(title)
+    return targets[:n_rows]
+
+
+def _workload(
+    rng: np.random.Generator, regime: str, n_rows: int, n_probes: int
+) -> tuple[list[str], list[str]]:
+    """Candidate strings and noisy probes for one regime."""
+    titles = _titles(rng, n_rows if regime == "short" else 2 * n_rows)
+    if regime == "short":
+        candidates = titles
+    else:
+        # Concatenated titles push past one 64-bit word (multi-block
+        # bit-parallel, wide reference DP rows).
+        candidates = [
+            f"{titles[2 * i]} {titles[2 * i + 1]}" for i in range(n_rows)
+        ]
+    profiles = list(PROFILES.values())
+    probes = []
+    for _ in range(n_probes):
+        base = candidates[int(rng.integers(0, len(candidates)))]
+        if regime == "short":
+            abbreviate = profiles[int(rng.integers(0, len(profiles)))]
+            probes.append(abbreviate(base, rng))
+        else:
+            # Character noise keeps long probes in the length window,
+            # where the kernels do real work.
+            chars = list(base)
+            for _ in range(int(rng.integers(0, 4))):
+                pos = int(rng.integers(0, len(chars)))
+                chars[pos] = chr(ord("a") + int(rng.integers(0, 26)))
+            probes.append("".join(chars))
+    return candidates, probes
+
+
+def _encode_loop(strings: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """The retired per-string ``encode_strings`` loop, kept as baseline."""
+    lengths = np.fromiter(
+        (len(s) for s in strings), count=len(strings), dtype=np.int64
+    )
+    max_len = int(lengths.max()) if lengths.size else 0
+    codes = np.full((len(strings), max_len), 0xFFFFFFFF, dtype=np.uint32)
+    for i, value in enumerate(strings):
+        if value:
+            codes[i, : lengths[i]] = codepoints(value)
+    return codes, lengths
+
+
+def _time_backend(backend, probes, codes, lengths, cap) -> float:
+    started = time.perf_counter()
+    for probe in probes:
+        backend.edit_distance_codes(probe, codes, lengths, cap)
+    return time.perf_counter() - started
+
+
+def run_kernels(
+    seed: int = _SEED, sizes: dict[str, tuple[int, int]] = _SIZES
+) -> dict:
+    """Run the sweep and return the JSON-serializable report."""
+    rows = []
+    for regime, (n_rows, n_probes) in sizes.items():
+        rng = np.random.default_rng(seed + n_rows)
+        candidates, probes = _workload(rng, regime, n_rows, n_probes)
+        codes, lengths = encode_strings(candidates)
+        for cap in _CAPS:
+            # Equivalence before any clock is trusted.
+            expected = [
+                get_backend("reference").edit_distance_codes(
+                    p, codes, lengths, cap
+                )
+                for p in probes
+            ]
+            for name in _BACKENDS[1:]:
+                backend = get_backend(name)
+                for probe, want in zip(probes, expected, strict=True):
+                    got = backend.edit_distance_codes(
+                        probe, codes, lengths, cap
+                    )
+                    assert np.array_equal(got, want), (
+                        f"{name} != reference: regime={regime} cap={cap} "
+                        f"probe={probe!r}"
+                    )
+            timings = {
+                name: _time_backend(
+                    get_backend(name), probes, codes, lengths, cap
+                )
+                for name in _BACKENDS
+            }
+            for name in _BACKENDS:
+                rows.append(
+                    {
+                        "config": f"{regime}/cap{cap}/{name}",
+                        "regime": regime,
+                        "cap": cap,
+                        "backend": name,
+                        "rows": n_rows,
+                        "probes": n_probes,
+                        "seconds": round(timings[name], 4),
+                        "speedup": round(
+                            timings["reference"] / timings[name], 2
+                        ),
+                    }
+                )
+    # encode_strings micro-bench: vectorized frombuffer path vs the
+    # retired per-string loop, on the short-regime column.
+    column = _titles(
+        np.random.default_rng(seed), max(sizes["short"][0], 2000)
+    )
+    started = time.perf_counter()
+    loop_codes, loop_lengths = _encode_loop(column)
+    loop_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    fast_codes, fast_lengths = encode_strings(column)
+    fast_seconds = time.perf_counter() - started
+    assert np.array_equal(loop_codes, fast_codes)
+    assert np.array_equal(loop_lengths, fast_lengths)
+    encode = {
+        "rows": len(column),
+        "loop_seconds": round(loop_seconds, 5),
+        "vectorized_seconds": round(fast_seconds, 5),
+        "speedup": round(loop_seconds / fast_seconds, 2),
+    }
+    return stamp_provenance({
+        "bench": "kernels",
+        "seed": seed,
+        "caps": list(_CAPS),
+        "workload": "journal-abbreviation probes (JAB noise profiles) "
+        "over a vocabulary-scaled canonical title column; the long "
+        "regime concatenates titles past one 64-bit word",
+        "rows": rows,
+        "encode": encode,
+    })
+
+
+def _short_cap_rows(report: dict) -> list[dict]:
+    return [
+        row
+        for row in report["rows"]
+        if row["regime"] == "short"
+        and row["backend"] == "bitparallel"
+        and row["cap"] <= 4
+    ]
+
+
+def test_kernels(results_dir):
+    report = run_kernels()
+    _JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = ["Kernel backend sweep (seconds per probe set)"]
+    lines.append(
+        "config".ljust(28) + "seconds".rjust(10) + "speedup".rjust(10)
+    )
+    for row in report["rows"]:
+        lines.append(
+            f"{row['config']:<28s}{row['seconds']:>10.3f}"
+            f"{row['speedup']:>9.1f}x"
+        )
+    encode = report["encode"]
+    lines.append(
+        f"\nencode_strings: {encode['loop_seconds']:.4f}s loop vs "
+        f"{encode['vectorized_seconds']:.4f}s vectorized "
+        f"({encode['speedup']:.1f}x) over {encode['rows']} rows"
+    )
+    lines.append(f"\n[json written to {_JSON_PATH}]")
+    persist(results_dir, "kernels", "\n".join(lines))
+
+    for row in _short_cap_rows(report):
+        assert row["speedup"] >= _FULL_FLOOR, (
+            f"bit-parallel kernel under {_FULL_FLOOR}x on {row}"
+        )
+
+
+if __name__ == "__main__":
+    args = parse_bench_args(__doc__)
+    if args.smoke:
+        report = run_kernels(sizes=_SMOKE_SIZES)
+        emit_report(report, _JSON_PATH, args)
+        for row in _short_cap_rows(report):
+            assert row["speedup"] >= _SMOKE_FLOOR, (
+                f"bit-parallel kernel regressed at smoke scale: {row}"
+            )
+    else:
+        report = run_kernels()
+        emit_report(report, _JSON_PATH, args)
+        for row in _short_cap_rows(report):
+            assert row["speedup"] >= _FULL_FLOOR, (
+                f"bit-parallel kernel under {_FULL_FLOOR}x on {row}"
+            )

@@ -25,6 +25,20 @@ from dataclasses import dataclass, replace
 #: Join modes understood by the engines and the serve schema.
 JOIN_MODES = ("argmin", "topk", "reverse")
 
+#: Edit-distance kernel backends understood by the join engines.  The
+#: names live here (not in :mod:`repro.index.kernels`) so config
+#: validation never imports the kernel implementations — the index
+#: package imports this module, and the reverse would cycle.
+#:
+#: * ``"auto"`` — pick per call: bit-parallel for queries that fit one
+#:   64-bit word, banded when the diagonal band is narrower than the
+#:   candidates are long, bit-parallel multi-block otherwise.
+#: * ``"reference"`` — the pure-numpy DP sweeps in
+#:   :mod:`repro.index.kernel`, always available, defines the contract.
+#: * ``"bitparallel"`` — Myers' bit-parallel DP in uint64 bit-vectors.
+#: * ``"banded"`` — Ukkonen's banded DP over the ``2*cap + 1`` diagonal.
+KERNEL_BACKENDS = ("auto", "reference", "bitparallel", "banded")
+
 
 class JoinAPIDeprecationWarning(DeprecationWarning):
     """Raised-once warning for legacy joiner keyword arguments.
@@ -59,6 +73,12 @@ class JoinConfig:
             forces serial, ``>= 2`` always shards).
         parallel_threshold: Minimum number of pending probes before the
             blocked engine's auto mode engages the worker pool.
+        kernel_backend: Edit-distance kernel the blocked engines score
+            with — one of :data:`KERNEL_BACKENDS`.  ``"auto"`` (the
+            default) defers to the ``REPRO_KERNEL_BACKEND`` environment
+            variable when set, else picks per call; every backend is
+            byte-identical to the reference, so this is purely a
+            performance knob.
     """
 
     mode: str = "argmin"
@@ -70,6 +90,7 @@ class JoinConfig:
     auto_threshold: int = 256
     n_workers: int | None = None
     parallel_threshold: int = 4096
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in JOIN_MODES:
@@ -100,6 +121,11 @@ class JoinConfig:
         if self.parallel_threshold < 0:
             raise ValueError(
                 f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
             )
 
 

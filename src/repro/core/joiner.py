@@ -79,6 +79,13 @@ class EditDistanceJoiner:
     The config is a constructor-time carrier: thresholds and the
     ``mode``/``k``/``margin`` defaults land on plain mutable attributes
     (``AutoJoiner`` re-points them on its delegates per call).
+
+    ``config.kernel_backend`` resolves here, once, into the
+    :attr:`kernel` every engine scores through
+    (:mod:`repro.index.kernels`); the brute scan itself stays on the
+    scalar DP — it is the oracle the kernels are measured against —
+    but subclasses and workers inherit the resolved backend through
+    this single dispatch point.
     """
 
     def __init__(
@@ -94,7 +101,13 @@ class EditDistanceJoiner:
             max_distance=max_distance,
             normalized_threshold=normalized_threshold,
         )
+        # Imported lazily: the kernels registry lives in the index
+        # package, which imports this module — a top-level import
+        # would cycle.
+        from repro.index.kernels import resolve_backend
+
         self.config = config
+        self.kernel = resolve_backend(config.kernel_backend)
         self.max_distance = config.max_distance
         self.normalized_threshold = config.normalized_threshold
         self.mode = config.mode

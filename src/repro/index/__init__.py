@@ -11,6 +11,11 @@ column:
 * :mod:`repro.index.kernel` — :func:`edit_distance_many`, a batched
   capped edit-distance DP over a padded candidate matrix, vectorized
   across candidates.
+* :mod:`repro.index.kernels` — pluggable kernel backends behind that
+  contract (Myers bit-parallel, Ukkonen banded, per-call auto
+  dispatch), selected via ``JoinConfig.kernel_backend`` or the
+  ``REPRO_KERNEL_BACKEND`` environment variable; every backend is
+  byte-identical to the reference DP.
 * :mod:`repro.index.joiner` — :class:`IndexedJoiner` (drop-in,
   byte-identical results to :class:`~repro.core.joiner.EditDistanceJoiner`),
   :class:`AutoJoiner` (switches strategy on target-column size), and the
@@ -44,6 +49,12 @@ from repro.index.kernel import (
     edit_distance_pairs,
     encode_strings,
 )
+from repro.index.kernels import (
+    KernelBackend,
+    get_backend,
+    pairs_scored_snapshot,
+    resolve_backend,
+)
 from repro.index.parallel import JoinStats
 from repro.index.qgram import QGramIndex, adaptive_q
 
@@ -53,6 +64,7 @@ __all__ = [
     "IndexedJoiner",
     "JoinConfig",
     "JoinStats",
+    "KernelBackend",
     "QGramIndex",
     "adaptive_q",
     "column_fingerprint",
@@ -60,5 +72,8 @@ __all__ = [
     "edit_distance_many",
     "edit_distance_pairs",
     "encode_strings",
+    "get_backend",
     "make_joiner",
+    "pairs_scored_snapshot",
+    "resolve_backend",
 ]

@@ -52,7 +52,8 @@ from repro.core.join_config import JoinConfig, fold_legacy_kwargs
 from repro.core.joiner import EditDistanceJoiner
 from repro.exceptions import JoinError
 from repro.index.cache import IndexCache, default_index_cache
-from repro.index.kernel import edit_distance_codes, edit_distance_pairs, encode_strings
+from repro.index.kernel import encode_strings
+from repro.index.kernels import pairs_scored_snapshot
 from repro.index.qgram import QGramIndex
 
 if TYPE_CHECKING:
@@ -166,7 +167,12 @@ class IndexedJoiner(EditDistanceJoiner):
             pool.close()
             pool = None
         if pool is None:
-            pool = JoinWorkerPool(n_workers, self.cache, q=self.q)
+            pool = JoinWorkerPool(
+                n_workers,
+                self.cache,
+                q=self.q,
+                kernel_backend=self.kernel.name,
+            )
             self._pool = pool
         return pool
 
@@ -228,6 +234,7 @@ class IndexedJoiner(EditDistanceJoiner):
         cache_misses = self.cache.misses
         disk_hits = self.cache.disk_hits
         disk_misses = self.cache.disk_misses
+        pairs_before = pairs_scored_snapshot()
         # Dedupe: every occurrence of a probe value gets the one result.
         positions: dict[str, list[int]] = {}
         for i, probe in enumerate(probes):
@@ -258,17 +265,25 @@ class IndexedJoiner(EditDistanceJoiner):
             shard_sizes = pool_stats.shard_sizes
             worker_disk_hits = pool_stats.disk_hits
             worker_disk_misses = pool_stats.disk_misses
+            worker_pairs = pool_stats.kernel_pairs
         else:
             n_workers = 1
             shards = 0
             shard_sizes = ()
             worker_disk_hits = 0
             worker_disk_misses = 0
+            worker_pairs = ()
             argmins = {}
             for length, bucket in buckets.items():
                 argmins.update(self._argmin_bucket(index, length, bucket))
         for probe, (vid, distance) in argmins.items():
             resolved[probe] = self._apply_thresholds(index.values[vid], distance)
+        kernel_pairs = {
+            name: count - pairs_before.get(name, 0)
+            for name, count in pairs_scored_snapshot().items()
+        }
+        for name, count in worker_pairs:
+            kernel_pairs[name] = kernel_pairs.get(name, 0) + count
         self.last_join_stats = JoinStats(
             probes=len(probes),
             unique_probes=len(positions),
@@ -283,6 +298,14 @@ class IndexedJoiner(EditDistanceJoiner):
             cache_misses=self.cache.misses - cache_misses,
             disk_hits=self.cache.disk_hits - disk_hits + worker_disk_hits,
             disk_misses=self.cache.disk_misses - disk_misses + worker_disk_misses,
+            kernel_backend=self.kernel.name,
+            kernel_pairs=tuple(
+                sorted(
+                    (name, count)
+                    for name, count in kernel_pairs.items()
+                    if count
+                )
+            ),
         )
         results: list[tuple[str | None, int]] = [(None, 0)] * len(probes)
         for probe, rows in positions.items():
@@ -527,7 +550,9 @@ class IndexedJoiner(EditDistanceJoiner):
                         vids[rows_arr], return_inverse=True
                     )
                     codes, lengths = index.batch_codes(unique_vids)
-                    distances = edit_distance_codes(part, codes, lengths, vacuous)
+                    distances = self.kernel.edit_distance_codes(
+                        part, codes, lengths, vacuous
+                    )
                     totals += distances[inverse]
                 # rows_arr ascends, so argmin lands on the earliest row.
                 best_pos = int(np.argmin(totals))
@@ -795,7 +820,7 @@ class IndexedJoiner(EditDistanceJoiner):
         # Any target is within max(length, longest target), so the
         # distances come back exact.
         vacuous = max(length, index.max_length)
-        distances = edit_distance_pairs(
+        distances = self.kernel.edit_distance_pairs(
             probe_codes[probe_rep], cand_codes, cand_lengths, vacuous
         )
         starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
@@ -853,7 +878,7 @@ class IndexedJoiner(EditDistanceJoiner):
             )
             hi = max(lo + 1, min(hi, n))
             cand_codes, cand_lengths = index.batch_codes(vids[lo:hi])
-            out[lo:hi] = edit_distance_pairs(
+            out[lo:hi] = self.kernel.edit_distance_pairs(
                 probe_codes[probe_rep[lo:hi]], cand_codes, cand_lengths, cap
             )
             lo = hi
@@ -871,7 +896,9 @@ class IndexedJoiner(EditDistanceJoiner):
         if not vids.size:
             return []
         batch_codes, batch_lengths = index.batch_codes(vids)
-        distances = edit_distance_codes(predicted, batch_codes, batch_lengths, upper)
+        distances = self.kernel.edit_distance_codes(
+            predicted, batch_codes, batch_lengths, upper
+        )
         keep = (distances >= lower) & (distances <= upper)
         # The brute scan appends in row order and sorts stably by
         # distance, i.e. orders by (distance, row); duplicate values

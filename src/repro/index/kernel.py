@@ -44,9 +44,24 @@ def encode_strings(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
     )
     max_len = int(lengths.max()) if lengths.size else 0
     codes = np.full((len(strings), max_len), _PAD, dtype=np.uint32)
-    for i, s in enumerate(strings):
-        if s:
-            codes[i, : len(s)] = codepoints(s)
+    if max_len == 0:
+        return codes, lengths
+    # One join + one frombuffer instead of a Python-level loop per
+    # string: utf-32-le yields exactly one uint32 per code point, and a
+    # ragged boolean mask scatters the flat buffer into the padded rows.
+    try:
+        flat = np.frombuffer(
+            "".join(strings).encode("utf-32-le"), dtype=np.uint32
+        )
+    except UnicodeEncodeError:
+        # Lone surrogates can't round-trip through utf-32; fall back to
+        # the per-string scalar path (codepoints() handles them).
+        for i, s in enumerate(strings):
+            if s:
+                codes[i, : len(s)] = codepoints(s)
+        return codes, lengths
+    mask = np.arange(max_len) < lengths[:, None]
+    codes[mask] = flat
     return codes, lengths
 
 
@@ -81,12 +96,16 @@ def edit_distance_codes(
     longest = int(lengths.max())
     if codes.shape[1] > longest:
         codes = codes[:, :longest]
+    out = np.full(n, big, dtype=np.int64)
+    # Maps compacted row positions back to caller candidate indices.
+    active = np.arange(n)
     width = codes.shape[1] + 1
     col = np.arange(width, dtype=np.int64)
     previous = np.minimum(np.tile(col, (n, 1)), big)
     current = np.empty_like(previous)
     query_codes = codepoints(query)
-    for i in range(1, len(query_codes) + 1):
+    query_len = len(query_codes)
+    for i in range(1, query_len + 1):
         current[:, 0] = i
         substitution = previous[:, :-1] + (codes != query_codes[i - 1])
         deletion = previous[:, 1:] + 1
@@ -96,12 +115,35 @@ def edit_distance_codes(
         np.minimum.accumulate(current, axis=1, out=current)
         current += col
         np.minimum(current, big, out=current)
-        # Row minima never decrease as the DP advances, so once every
-        # candidate's row exceeds the cap the outcome is settled.
-        if current.min() > cap:
-            return np.full(n, big, dtype=np.int64)
         previous, current = current, previous
-    return previous[np.arange(n), lengths]
+        if i & 1 and i != query_len:
+            continue
+        # A candidate whose row minimum exceeds the cap is settled —
+        # row minima never decrease as the DP advances — so its
+        # distance is reported as ``big`` and the row drops out of the
+        # sweep.  Same settled-count/compaction policy as
+        # :func:`edit_distance_pairs`: checking every other row halves
+        # the full-matrix min scans, and compaction keeps a batch that
+        # mixes doomed and promising candidates from paying full width
+        # for the doomed majority.
+        row_min = previous.min(axis=1)
+        settled = int(np.count_nonzero(row_min > cap))
+        if settled == active.size:
+            return out
+        if settled >= 256 and settled * 4 >= active.size:
+            keep = row_min <= cap
+            active = active[keep]
+            previous = previous[keep]
+            codes = codes[keep]
+            lengths = lengths[keep]
+            longest = int(lengths.max())
+            if codes.shape[1] > longest:
+                codes = codes[:, :longest]
+                previous = previous[:, : longest + 1]
+                col = col[: longest + 1]
+            current = np.empty_like(previous)
+    out[active] = previous[np.arange(active.size), lengths]
+    return out
 
 
 def edit_distance_pairs(

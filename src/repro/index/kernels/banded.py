@@ -1,0 +1,209 @@
+"""Ukkonen's banded DP: sweep only the ``2*cap + 1`` diagonal band.
+
+The capped contract makes most of the DP matrix irrelevant: a cell
+``D[i][j]`` with ``|i - j| > cap`` can never feed a result ``<= cap``
+(each step changes ``i - j`` by at most one, and ``D[i][j] >= |i -
+j|``).  This backend stores only the band, re-indexed so row ``i``
+holds ``B[i][d] = D[i][i + d - cap]`` for ``d`` in ``[0, 2*cap]`` —
+``(n_candidates, 2*cap + 1)`` per DP row instead of ``(n_candidates,
+longest + 1)``.  In band coordinates the recurrence reads
+
+* substitution from ``B[i-1][d]`` (same ``d``: ``j`` shifts with ``i``),
+* deletion from ``B[i-1][d+1]``,
+* insertion from ``B[i][d-1]`` — resolved with the same prefix-min
+  trick as the reference kernel, but along an axis of ``2*cap + 1``
+  cells instead of the whole candidate length.
+
+Each row's character window ``candidate[i - cap - 1 .. i + cap - 1]``
+is a contiguous view into a pad-framed code matrix, so no per-row
+gather is needed.  Out-of-range cells carry a poison value larger than
+any in-band distance can reach; they decay by at most one per step and
+start ``> cap + longest`` above the band, so they can never leak into a
+valid final read.
+
+When the band is at least as wide as the candidates are long the
+banding is vacuous — the reference sweep touches fewer cells — so the
+call delegates to :mod:`repro.index.kernel` (the result is identical
+either way; this is purely the cheaper schedule).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.index import kernel as _reference
+from repro.index.kernel import _PAD, encode_strings
+from repro.text.edit_distance import codepoints
+
+# Compaction thresholds, same policy as the reference pair sweep.
+_COMPACT_MIN = 256
+
+
+def _band_sweep(
+    query_rows: np.ndarray,
+    shared_query: bool,
+    cand_codes: np.ndarray,
+    cand_lengths: np.ndarray,
+    cap: int,
+    out: np.ndarray,
+    active: np.ndarray,
+) -> np.ndarray:
+    """Run the banded sweep over the active candidates.
+
+    ``query_rows`` is ``(1, m)`` when ``shared_query`` (every candidate
+    scores against the same query) or ``(n_active, m)`` otherwise.
+    ``out`` is pre-filled with ``big``; the final band cell of each
+    surviving candidate overwrites it.
+    """
+    big = cap + 1
+    m = query_rows.shape[1]
+    band = 2 * cap + 1
+    lengths = cand_lengths
+    longest = int(lengths.max())
+    # Poison for cells outside the matrix: decays by at most 1 per row
+    # across m rows, so it stays above ``cap`` (and above any real
+    # in-band value) for the whole sweep.
+    poison = big + m + longest
+    # Pad-framed codes: row i's window is columns [i-1, i-1+band) —
+    # j = i + d - cap maps the band cell to candidate char j - 1 at
+    # frame column (j - 1) + cap = i + d - 1.
+    frame = np.full(
+        (active.size, max(longest, m) + 2 * cap), _PAD, dtype=np.uint32
+    )
+    frame[:, cap : cap + longest] = cand_codes[:, :longest]
+    col_d = np.arange(band, dtype=np.int64)
+    # Row 0: D[0][j] = j at d = j + cap, out-of-matrix cells poisoned.
+    previous = np.where(col_d >= cap, col_d - cap, poison)
+    previous = np.repeat(previous[None, :], active.size, axis=0)
+    current = np.empty_like(previous)
+    for i in range(1, m + 1):
+        qc = (
+            query_rows[0, i - 1]
+            if shared_query
+            else query_rows[:, i - 1][:, None]
+        )
+        window = frame[:, i - 1 : i - 1 + band]
+        np.add(previous, window != qc, out=current)
+        deletion = previous[:, 1:] + 1
+        np.minimum(current[:, :-1], deletion, out=current[:, :-1])
+        # Insertion closure via prefix-min of (value - band index).
+        current -= col_d
+        np.minimum.accumulate(current, axis=1, out=current)
+        current += col_d
+        # Cells below the matrix (j = i + d - cap < 0) must stay
+        # poisoned; without this a poisoned cell could be rewritten
+        # from a real neighbour and alias D[i][j<0] as a cheap path.
+        low = cap - i
+        if low > 0:
+            current[:, :low] = poison
+        previous, current = current, previous
+        if i == m:
+            break
+        if i & 1:
+            continue
+        row_min = previous.min(axis=1)
+        settled = int(np.count_nonzero(row_min > cap))
+        if settled == active.size:
+            return out
+        if settled >= _COMPACT_MIN and settled * 4 >= active.size:
+            keep = row_min <= cap
+            active = active[keep]
+            lengths = lengths[keep]
+            previous = previous[keep]
+            frame = frame[keep]
+            if not shared_query:
+                query_rows = query_rows[keep]
+            current = np.empty_like(previous)
+    final = previous[np.arange(active.size), lengths - m + cap]
+    out[active] = np.minimum(final, big)
+    return out
+
+
+def _run(
+    query_rows: np.ndarray,
+    shared_query: bool,
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    cap: int,
+) -> np.ndarray:
+    """Shared entry: length-window filter, trivial cases, band sweep."""
+    n = codes.shape[0]
+    big = cap + 1
+    m = query_rows.shape[1]
+    out = np.full(n, big, dtype=np.int64)
+    # |len - m| > cap settles a candidate before the sweep; it also
+    # guarantees the final band read ``lengths - m + cap`` is in range.
+    window = np.abs(lengths - m) <= cap
+    active = np.nonzero(window)[0]
+    if not active.size:
+        return out
+    alens = lengths[active]
+    empty = alens == 0
+    if empty.any():
+        out[active[empty]] = min(m, big)
+        active = active[~empty]
+        alens = alens[~empty]
+    if not active.size:
+        return out
+    if shared_query:
+        rows = query_rows
+    else:
+        rows = query_rows[active]
+    return _band_sweep(rows, shared_query, codes[active], alens, cap, out, active)
+
+
+def edit_distance_codes(
+    query: str, codes: np.ndarray, lengths: np.ndarray, cap: int
+) -> np.ndarray:
+    """Banded analogue of :func:`repro.index.kernel.edit_distance_codes`."""
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    n = codes.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if not query:
+        return np.minimum(lengths, cap + 1)
+    longest = int(lengths.max()) if n else 0
+    if 2 * cap + 1 >= longest + 1:
+        # Vacuous band: the reference full-width sweep is cheaper.
+        return _reference.edit_distance_codes(query, codes, lengths, cap)
+    return _run(codepoints(query).reshape(1, -1), True, codes, lengths, cap)
+
+
+def edit_distance_pairs(
+    query_codes: np.ndarray,
+    cand_codes: np.ndarray,
+    cand_lengths: np.ndarray,
+    cap: int,
+) -> np.ndarray:
+    """Banded analogue of :func:`repro.index.kernel.edit_distance_pairs`."""
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    n = cand_codes.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if query_codes.shape[1] == 0:
+        return np.minimum(cand_lengths, cap + 1)
+    longest = int(cand_lengths.max())
+    if 2 * cap + 1 >= longest + 1:
+        return _reference.edit_distance_pairs(
+            query_codes, cand_codes, cand_lengths, cap
+        )
+    return _run(query_codes, False, cand_codes, cand_lengths, cap)
+
+
+def edit_distance_many(
+    query: str, candidates: Sequence[str], cap: int
+) -> np.ndarray:
+    """Banded analogue of :func:`repro.index.kernel.edit_distance_many`."""
+    codes, lengths = encode_strings(candidates)
+    return edit_distance_codes(query, codes, lengths, cap)
+
+
+__all__ = [
+    "edit_distance_codes",
+    "edit_distance_many",
+    "edit_distance_pairs",
+]

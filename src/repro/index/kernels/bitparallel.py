@@ -1,0 +1,286 @@
+"""Myers' bit-parallel capped edit distance, vectorized over candidates.
+
+One DP *column* of Myers' algorithm (the query runs down the pattern
+axis) is two uint64 bit-vectors — ``VP``/``VN`` mark pattern rows whose
+distance increases/decreases along the column — and one text character
+advances the whole column in ~15 word operations.  Here the word
+operations are numpy ufuncs over **all candidates at once**: state is
+``(n_blocks, n_candidates)`` uint64 matrices, so a batch of ``n``
+candidates costs the same number of numpy dispatches as one candidate
+costs scalar word ops.
+
+Queries longer than 64 characters chain blocks edlib-style: each block
+consumes the horizontal delta (``hin`` in {-1, 0, +1}) the block below
+produced this column and emits its own from bit 63.  The running
+distance ``score = D[m][j]`` is tracked at bit ``(m - 1) % 64`` of the
+last block — bits above it hold garbage, which is safe because
+information only flows *upward* within a column (shifts and adder
+carries), never down.
+
+The capped contract matches :mod:`repro.index.kernel`: values ``<=
+cap`` are exact, everything else reports ``cap + 1``.  Early exit uses
+the lower bound ``D[m][len] >= score_j - (len - j)``: the slack
+``score_j - (len - j)`` changes by 0 or +2 per column, so once a
+candidate's bound exceeds the cap it is settled for good and the batch
+compacts it away under the same policy as the reference pair sweep.
+
+Per-query ``Peq`` tables (which pattern rows match each alphabet
+symbol) are the only preprocessing; for the single-query entry points
+they are memoized in a small LRU keyed on the query string, so repeated
+probes against rotating candidate sets pay table construction once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.index.kernel import encode_strings
+from repro.text.edit_distance import codepoints
+
+_WORD = 64
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+_TOP = np.uint64(63)
+
+#: Query string -> (ucodes, peq) memo for the single-query entry points.
+_PEQ_CACHE: OrderedDict[str, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+_PEQ_CACHE_CAP = 512
+
+# Columns between settled-candidate scans; compaction thresholds match
+# the reference pair sweep.
+_CHECK_EVERY = 16
+_COMPACT_MIN = 256
+
+
+def _build_peq(query_rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-symbol match masks for a batch of equal-length queries.
+
+    Args:
+        query_rows: ``(p, m)`` uint32 code matrix, one row per distinct
+            query.
+
+    Returns:
+        ``(ucodes, peq)`` where ``ucodes`` is the sorted alphabet of
+        the queries and ``peq`` has shape ``(n_blocks, p, len(ucodes)
+        + 1)`` — ``peq[b, r, s]`` marks which rows of block ``b`` of
+        query ``r`` match symbol ``ucodes[s]``; the last column is the
+        all-zero mask for characters outside the alphabet.
+    """
+    p, m = query_rows.shape
+    n_blocks = (m + _WORD - 1) // _WORD
+    ucodes = np.unique(query_rows)
+    peq = np.zeros((n_blocks, p, ucodes.size + 1), dtype=np.uint64)
+    rows = np.arange(p)
+    symbol = np.searchsorted(ucodes, query_rows)
+    for k in range(m):
+        bit = np.uint64(1 << (k % _WORD))
+        peq[k // _WORD][rows, symbol[:, k]] |= bit
+    return ucodes, peq
+
+
+def _peq_for_query(query: str) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(ucodes, peq)`` for one query string."""
+    hit = _PEQ_CACHE.get(query)
+    if hit is not None:
+        _PEQ_CACHE.move_to_end(query)
+        return hit
+    tables = _build_peq(codepoints(query).reshape(1, -1))
+    _PEQ_CACHE[query] = tables
+    while len(_PEQ_CACHE) > _PEQ_CACHE_CAP:
+        _PEQ_CACHE.popitem(last=False)
+    return tables
+
+
+def _symbol_ids(ucodes: np.ndarray, chars: np.ndarray) -> np.ndarray:
+    """Map one column of candidate characters into ``peq`` columns.
+
+    Characters outside the query alphabet (pad included) land on the
+    sentinel all-zero column ``len(ucodes)``.
+    """
+    pos = np.searchsorted(ucodes, chars)
+    pos[pos == ucodes.size] = 0
+    # ``pos`` now indexes a real symbol; keep it only where it matches.
+    return np.where(ucodes[pos] == chars, pos, ucodes.size)
+
+
+def _sweep(
+    peq: np.ndarray,
+    query_ids: np.ndarray | None,
+    ucodes: np.ndarray,
+    m: int,
+    cand_codes: np.ndarray,
+    cand_lengths: np.ndarray,
+    cap: int,
+    out: np.ndarray,
+    active: np.ndarray,
+) -> np.ndarray:
+    """Run the bit-parallel column sweep over the active candidates.
+
+    ``query_ids`` selects each active candidate's query row of ``peq``
+    (``None`` means every candidate shares query row 0).  ``out`` is
+    pre-filled with ``big``; settled candidates simply keep it.
+    """
+    big = cap + 1
+    n_blocks = peq.shape[0]
+    score_bit = np.uint64((m - 1) % _WORD)
+    # Transposed codes: column j of the DP is one contiguous gather.
+    codes_t = np.ascontiguousarray(cand_codes.T)
+    n_cols = codes_t.shape[0]
+    vp = np.full((n_blocks, active.size), _ONES, dtype=np.uint64)
+    vn = np.zeros((n_blocks, active.size), dtype=np.uint64)
+    score = np.full(active.size, m, dtype=np.int64)
+    lengths = cand_lengths
+    since_check = 0
+    for j in range(n_cols):
+        ids = _symbol_ids(ucodes, codes_t[j])
+        hin_p = np.full(ids.shape, _ONE, dtype=np.uint64)
+        hin_n = np.zeros(ids.shape, dtype=np.uint64)
+        for b in range(n_blocks):
+            if query_ids is None:
+                eq = peq[b][0, ids]
+            else:
+                eq = peq[b][query_ids, ids]
+            pv = vp[b]
+            mv = vn[b]
+            xv = eq | mv
+            eq = eq | hin_n
+            xh = (((eq & pv) + pv) ^ pv) | eq
+            ph = mv | ~(xh | pv)
+            mh = pv & xh
+            if b == n_blocks - 1:
+                score += ((ph >> score_bit) & _ONE).astype(np.int64)
+                score -= ((mh >> score_bit) & _ONE).astype(np.int64)
+            else:
+                hout_p = (ph >> _TOP) & _ONE
+                hout_n = (mh >> _TOP) & _ONE
+            ph = (ph << _ONE) | hin_p
+            mh = (mh << _ONE) | hin_n
+            vp[b] = mh | ~(xv | ph)
+            vn[b] = ph & xv
+            if b != n_blocks - 1:
+                hin_p = hout_p
+                hin_n = hout_n
+        finished = lengths == j + 1
+        if finished.any():
+            out[active[finished]] = np.minimum(score[finished], big)
+        since_check += 1
+        if since_check < _CHECK_EVERY or j + 1 == n_cols:
+            continue
+        since_check = 0
+        # D[m][len] >= score - (len - (j + 1)): every remaining column
+        # can lower the score by at most 1.  The slack is monotone, so
+        # a settled candidate stays settled.
+        alive = lengths > j + 1
+        settled = score - (lengths - (j + 1)) > cap
+        pending = int(np.count_nonzero(alive & ~settled))
+        done = active.size - pending
+        if pending == 0:
+            return out
+        if done >= _COMPACT_MIN and done * 4 >= active.size:
+            keep = alive & ~settled
+            active = active[keep]
+            lengths = lengths[keep]
+            score = score[keep]
+            if query_ids is not None:
+                query_ids = query_ids[keep]
+            vp = np.ascontiguousarray(vp[:, keep])
+            vn = np.ascontiguousarray(vn[:, keep])
+            codes_t = codes_t[:, keep]
+    return out
+
+
+def edit_distance_codes(
+    query: str, codes: np.ndarray, lengths: np.ndarray, cap: int
+) -> np.ndarray:
+    """Bit-parallel analogue of :func:`repro.index.kernel.edit_distance_codes`."""
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    n = codes.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    big = cap + 1
+    if not query:
+        return np.minimum(lengths, big)
+    m = len(codepoints(query))
+    out = np.full(n, big, dtype=np.int64)
+    # |len - m| is a lower bound on the distance: candidates outside
+    # the window are settled before the sweep starts.
+    window = np.abs(lengths - m) <= cap
+    active = np.nonzero(window)[0]
+    if not active.size:
+        return out
+    alens = lengths[active]
+    empty = alens == 0
+    if empty.any():
+        out[active[empty]] = min(m, big)
+        active = active[~empty]
+        alens = alens[~empty]
+    if not active.size:
+        return out
+    longest = int(alens.max())
+    acodes = codes[active][:, :longest]
+    ucodes, peq = _peq_for_query(query)
+    return _sweep(peq, None, ucodes, m, acodes, alens, cap, out, active)
+
+
+def edit_distance_pairs(
+    query_codes: np.ndarray,
+    cand_codes: np.ndarray,
+    cand_lengths: np.ndarray,
+    cap: int,
+) -> np.ndarray:
+    """Bit-parallel analogue of :func:`repro.index.kernel.edit_distance_pairs`.
+
+    Queries arrive as a lockstep ``(n, m)`` code matrix (every row the
+    same true length).  Distinct query rows are deduplicated so the
+    ``Peq`` tables are built once per distinct probe, not per pair.
+    """
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    n = cand_codes.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    big = cap + 1
+    m = query_codes.shape[1]
+    if m == 0:
+        return np.minimum(cand_lengths, big)
+    out = np.full(n, big, dtype=np.int64)
+    window = np.abs(cand_lengths - m) <= cap
+    active = np.nonzero(window)[0]
+    if not active.size:
+        return out
+    alens = cand_lengths[active]
+    empty = alens == 0
+    if empty.any():
+        out[active[empty]] = min(m, big)
+        active = active[~empty]
+        alens = alens[~empty]
+    if not active.size:
+        return out
+    unique_rows, inverse = np.unique(
+        query_codes[active], axis=0, return_inverse=True
+    )
+    ucodes, peq = _build_peq(unique_rows)
+    longest = int(alens.max())
+    acodes = cand_codes[active][:, :longest]
+    return _sweep(
+        peq, inverse.reshape(-1), ucodes, m, acodes, alens, cap, out, active
+    )
+
+
+def edit_distance_many(
+    query: str, candidates: Sequence[str], cap: int
+) -> np.ndarray:
+    """Bit-parallel analogue of :func:`repro.index.kernel.edit_distance_many`."""
+    codes, lengths = encode_strings(candidates)
+    return edit_distance_codes(query, codes, lengths, cap)
+
+
+__all__ = [
+    "edit_distance_codes",
+    "edit_distance_many",
+    "edit_distance_pairs",
+]

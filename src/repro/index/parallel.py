@@ -90,6 +90,18 @@ class JoinStats:
             and usually pay none).
         disk_misses: On-disk index-cache misses, same accounting;
             zero when no disk tier is configured.
+        kernel_backend: Resolved kernel backend the joiner scored with
+            (``"auto"`` means per-call dispatch; the per-backend pairs
+            show what actually ran).
+        kernel_pairs: ``(backend_name, pairs_scored)`` tuples — how
+            many (probe, candidate) pairs each concrete kernel backend
+            scored during this call, parent process plus per-shard
+            worker deltas.  Zero-count backends are omitted.  Parent
+            counts come from the process-wide tally, so concurrent
+            joins from other threads of the same process would be
+            attributed to whichever call snapshots last — the engines
+            serialize joins (the serving layer through its batch
+            executor), which keeps the accounting exact.
     """
 
     probes: int = 0
@@ -105,11 +117,14 @@ class JoinStats:
     cache_misses: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    kernel_backend: str = "auto"
+    kernel_pairs: tuple[tuple[str, int], ...] = ()
 
     def as_dict(self) -> dict:
-        """JSON-friendly dict form (tuples become lists)."""
+        """JSON-friendly dict form (tuples become lists/mappings)."""
         out = asdict(self)
         out["shard_sizes"] = list(out["shard_sizes"])
+        out["kernel_pairs"] = dict(out["kernel_pairs"])
         return out
 
 
@@ -122,6 +137,8 @@ class PoolStats:
     shard_sizes: tuple[int, ...]
     disk_hits: int
     disk_misses: int
+    #: Summed per-shard ``(backend, pairs)`` deltas from the workers.
+    kernel_pairs: tuple[tuple[str, int], ...] = ()
 
 
 # Target shards per worker: a few pieces of slack per process so one
@@ -259,14 +276,23 @@ def _resolve_worker_index(
     return index
 
 
-def _worker_scorer(q: int | None):
-    """Build the per-shard serial scorer (lazy import breaks the cycle)."""
+def _worker_scorer(q: int | None, kernel_backend: str = "auto"):
+    """Build the per-shard serial scorer (lazy import breaks the cycle).
+
+    ``kernel_backend`` is the parent joiner's *resolved* backend name,
+    so workers score with the same kernel whatever their environment
+    says (``"auto"`` stays per-call dispatch, which resolves the same
+    way in every process).
+    """
     from repro.core.join_config import JoinConfig
     from repro.index.joiner import IndexedJoiner
 
     cache = _WORKER_CACHE
     assert cache is not None, "worker initialized without a cache"
-    return IndexedJoiner(JoinConfig(q=q, n_workers=1), cache=cache)
+    return IndexedJoiner(
+        JoinConfig(q=q, n_workers=1, kernel_backend=kernel_backend),
+        cache=cache,
+    )
 
 
 def _worker_disk_counters() -> tuple[int, int]:
@@ -286,6 +312,7 @@ def _score_shard(
     fingerprint: str,
     column: tuple[str, ...] | None,
     q: int | None,
+    kernel_backend: str = "auto",
     k: int | None = None,
 ) -> tuple:
     """Score one shard; ship the results as reduced int32 arrays.
@@ -306,10 +333,16 @@ def _score_shard(
     argmin: the payload becomes a ragged triple — per-probe candidate
     counts plus flat ``(vids, distances)`` arrays in rank order — which
     the parent slices back per probe.
+
+    Each payload also carries this shard's per-backend kernel-pairs
+    delta (snapshotted around the scoring, so persistent workers never
+    double-report across shards or calls).
     """
+    from repro.index.kernels import pairs_scored_snapshot
+
     index = _resolve_worker_index(shard_id, fingerprint, column, q)
-    scorer = _worker_scorer(q)
-    disk_hits, disk_misses = _worker_disk_counters()
+    scorer = _worker_scorer(q, kernel_backend)
+    pairs_before = pairs_scored_snapshot()
     if k is not None:
         ranked = scorer._topk_bucket(index, length, probes, k)
         counts = np.fromiter(
@@ -324,17 +357,34 @@ def _score_shard(
         vids = np.fromiter(
             (vid for _, vid in flat), dtype=np.int32, count=len(flat)
         )
-        disk_hits, disk_misses = _worker_disk_counters()
-        return shard_id, os.getpid(), disk_hits, disk_misses, counts, vids, distances
-    argmin = scorer._argmin_bucket(index, length, probes)
-    vids = np.fromiter(
-        (argmin[probe][0] for probe in probes), dtype=np.int32, count=len(probes)
-    )
-    distances = np.fromiter(
-        (argmin[probe][1] for probe in probes), dtype=np.int32, count=len(probes)
+        payload = (counts, vids, distances)
+    else:
+        argmin = scorer._argmin_bucket(index, length, probes)
+        vids = np.fromiter(
+            (argmin[probe][0] for probe in probes),
+            dtype=np.int32,
+            count=len(probes),
+        )
+        distances = np.fromiter(
+            (argmin[probe][1] for probe in probes),
+            dtype=np.int32,
+            count=len(probes),
+        )
+        payload = (vids, distances)
+    kernel_pairs = tuple(
+        (name, count - pairs_before.get(name, 0))
+        for name, count in pairs_scored_snapshot().items()
+        if count - pairs_before.get(name, 0)
     )
     disk_hits, disk_misses = _worker_disk_counters()
-    return shard_id, os.getpid(), disk_hits, disk_misses, vids, distances
+    return (
+        shard_id,
+        os.getpid(),
+        disk_hits,
+        disk_misses,
+        kernel_pairs,
+        *payload,
+    )
 
 
 def _composite_shard(
@@ -343,6 +393,7 @@ def _composite_shard(
     fingerprints: list[str],
     columns: list[tuple[str, ...]] | None,
     qs: list[int | None],
+    kernel_backend: str = "auto",
 ) -> tuple:
     """Resolve one composite-probe shard against per-column indexes.
 
@@ -363,7 +414,7 @@ def _composite_shard(
         )
         for position, fingerprint in enumerate(fingerprints)
     ]
-    scorer = _worker_scorer(qs[0])
+    scorer = _worker_scorer(qs[0], kernel_backend)
     row_vids = [IndexedJoiner._row_value_ids(index) for index in indexes]
     rows = np.empty(len(probes), dtype=np.int32)
     sums = np.empty(len(probes), dtype=np.int32)
@@ -392,6 +443,9 @@ class JoinWorkerPool:
             workers share.
         q: Gram size the owning joiner resolves indexes at (``None`` =
             adaptive), forwarded to workers with every shard.
+        kernel_backend: The owning joiner's *resolved* kernel-backend
+            name, forwarded to workers with every shard so sharded
+            scoring runs the exact kernel the serial path would.
 
     The pool is not itself thread-safe — it executes one ``join_many``
     at a time, which is how :class:`~repro.index.joiner.IndexedJoiner`
@@ -401,12 +455,17 @@ class JoinWorkerPool:
     """
 
     def __init__(
-        self, n_workers: int, cache: IndexCache, q: int | None = None
+        self,
+        n_workers: int,
+        cache: IndexCache,
+        q: int | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.q = q
+        self.kernel_backend = kernel_backend
         self._cache = cache
         self._executor: ProcessPoolExecutor | None = None
         self._fork_started = False
@@ -484,7 +543,7 @@ class JoinWorkerPool:
         """
         shards = plan_shards(index, buckets, self.n_workers)
         if not shards:
-            return {}, PoolStats(0, 0, (), 0, 0)
+            return {}, PoolStats(0, 0, (), 0, 0, ())
         try:
             return self._run_shards(index, shards, targets, k)
         except BrokenProcessPool:
@@ -541,7 +600,13 @@ class JoinWorkerPool:
         self._shipped_fps.update(fingerprints)
         futures = [
             executor.submit(
-                _composite_shard, shard_id, shard, fingerprints, shipped, qs
+                _composite_shard,
+                shard_id,
+                shard,
+                fingerprints,
+                shipped,
+                qs,
+                self.kernel_backend,
             )
             for shard_id, shard in enumerate(shards)
         ]
@@ -558,6 +623,7 @@ class JoinWorkerPool:
                     fingerprints,
                     column_tuples,
                     qs,
+                    self.kernel_backend,
                 ).result()
             shard_id, pid, disk_hits, disk_misses, rows, sums, lengths = result
             for probe, row, total, length in zip(
@@ -612,12 +678,14 @@ class JoinWorkerPool:
                 fingerprint,
                 shipped,
                 self.q,
+                self.kernel_backend,
                 k,
             )
             for shard_id, (length, probes) in enumerate(shards)
         ]
         argmins: dict = {}
         worker_disk: dict[int, tuple[int, int]] = {}
+        call_pairs: dict[str, int] = {}
         for future in futures:
             try:
                 result = future.result()
@@ -631,12 +699,20 @@ class JoinWorkerPool:
                     fingerprint,
                     column,
                     self.q,
+                    self.kernel_backend,
                     k,
                 ).result()
             if k is not None:
-                shard_id, pid, disk_hits, disk_misses, counts, vids, distances = (
-                    result
-                )
+                (
+                    shard_id,
+                    pid,
+                    disk_hits,
+                    disk_misses,
+                    shard_pairs,
+                    counts,
+                    vids,
+                    distances,
+                ) = result
                 _, probes = shards[shard_id]
                 offsets = np.concatenate(([0], np.cumsum(counts)))
                 vid_list = vids.tolist()
@@ -647,13 +723,23 @@ class JoinWorkerPool:
                         zip(dist_list[lo:hi], vid_list[lo:hi], strict=True)
                     )
             else:
-                shard_id, pid, disk_hits, disk_misses, vids, distances = result
+                (
+                    shard_id,
+                    pid,
+                    disk_hits,
+                    disk_misses,
+                    shard_pairs,
+                    vids,
+                    distances,
+                ) = result
                 _, probes = shards[shard_id]
                 for probe, vid, distance in zip(
                     probes, vids.tolist(), distances.tolist(), strict=True
                 ):
                     argmins[probe] = (vid, distance)
             worker_disk[pid] = (disk_hits, disk_misses)
+            for name, count in shard_pairs:
+                call_pairs[name] = call_pairs.get(name, 0) + count
         call_hits, call_misses = self._credit_disk(worker_disk)
         return argmins, PoolStats(
             workers=min(self.n_workers, len(shards)),
@@ -661,6 +747,7 @@ class JoinWorkerPool:
             shard_sizes=tuple(len(probes) for _, probes in shards),
             disk_hits=call_hits,
             disk_misses=call_misses,
+            kernel_pairs=tuple(sorted(call_pairs.items())),
         )
 
     def close(self) -> None:

@@ -48,6 +48,7 @@ GATED_BENCHES = (
     "join_scaling",
     "join_parallel",
     "join_topk",
+    "kernels",
     "serve",
 )
 
@@ -134,6 +135,21 @@ def key_metrics(bench: str, report: dict) -> dict[str, float]:
             ratio = row.get("topk_cost_ratio")
             if isinstance(ratio, (int, float)):
                 metrics[f"topk_cost_ratio[rows={row['rows']}]"] = float(ratio)
+    elif bench == "kernels":
+        metrics.update(_labeled(rows, "config", "speedup"))
+        short = [
+            row
+            for row in rows
+            if row.get("regime") == "short"
+            and row.get("backend") == "bitparallel"
+        ]
+        if short:
+            metrics["headline"] = float(short[0]["speedup"])
+        elif rows:
+            metrics["headline"] = float(rows[-1]["speedup"])
+        encode = report.get("encode") or {}
+        if isinstance(encode.get("speedup"), (int, float)):
+            metrics["encode_speedup"] = float(encode["speedup"])
     elif bench == "serve":
         metrics.update(_labeled(rows, "clients", "speedup_vs_serial"))
         if rows:

@@ -23,8 +23,9 @@ Endpoints (all bodies JSON; successful responses carry
   returns ``{"groups": [{"row", "target", "sources": [...]}],
   "unmatched": [...]}`` over source-row indices.
 * ``GET /v1/stats`` — the service's :class:`ServeStats` snapshot, plus
-  a ``"metrics"`` block with the latency/occupancy histograms and
-  live gauges.
+  a ``"join"`` block (last join's :class:`~repro.index.parallel.JoinStats`
+  and cumulative pairs scored per kernel backend) and a ``"metrics"``
+  block with the latency/occupancy histograms and live gauges.
 * ``GET /metrics`` — the same metrics in the Prometheus text
   exposition format (scrape-friendly plain text).
 * ``GET /healthz`` — liveness.
@@ -278,6 +279,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 200,
                 {
                     **service.stats().as_dict(),
+                    "join": service.join_stats_snapshot(),
                     "metrics": service.metrics_snapshot(),
                 },
             )

@@ -58,7 +58,7 @@ from dataclasses import asdict, dataclass
 from typing import Literal
 
 from repro.core.interface import IncrementalSequenceModel
-from repro.core.join_config import JOIN_MODES
+from repro.core.join_config import JOIN_MODES, KERNEL_BACKENDS
 from repro.core.joiner import invert_matches
 from repro.core.pipeline import DTTPipeline
 from repro.core.serializer import SubTask
@@ -278,6 +278,9 @@ class TransformService:
         )
         self.last_engine_stats = EngineStats()
         self.last_join_stats = None
+        #: Cumulative candidate pairs scored per kernel backend across
+        #: every join this service has executed (scheduler thread only).
+        self._join_kernel_pairs: dict[str, int] = {}
         self._counters = _Counters()
         self._queue: deque[_Request] = deque()
         self.metrics = self._build_metrics()
@@ -365,6 +368,15 @@ class TransformService:
                 f"{field}_total",
                 f"see ServeStats.{field}",
                 fn=lambda f=field: getattr(self._counters, f),
+            )
+        for backend in KERNEL_BACKENDS:
+            if backend == "auto":
+                continue
+            registry.counter(
+                f"join_kernel_pairs_{backend}_total",
+                f"candidate pairs scored by the {backend} "
+                "edit-distance kernel across all joins",
+                fn=lambda b=backend: self._join_kernel_pairs.get(b, 0),
             )
         return registry
 
@@ -741,6 +753,11 @@ class TransformService:
                 results = joiner.join(flat, targets)
             self._counters.joined_rows += len(flat)
             self.last_join_stats = getattr(joiner, "last_join_stats", None)
+            if self.last_join_stats is not None:
+                for name, count in self.last_join_stats.kernel_pairs:
+                    self._join_kernel_pairs[name] = (
+                        self._join_kernel_pairs.get(name, 0) + count
+                    )
             offset = 0
             for plan in group:
                 request = plan.request
@@ -767,6 +784,20 @@ class TransformService:
             cache_entries=len(cache),
             cache_bytes=cache.total_bytes,
         )
+
+    def join_stats_snapshot(self) -> dict:
+        """JSON-friendly view of the join layer's kernel activity.
+
+        ``last_join`` is the most recent :class:`~repro.index.parallel.JoinStats`
+        (``None`` until a blocked join runs — the brute joiner publishes
+        no stats); ``kernel_pairs_total`` accumulates pairs scored per
+        backend across every join this service has executed.
+        """
+        last = self.last_join_stats
+        return {
+            "last_join": last.as_dict() if last is not None else None,
+            "kernel_pairs_total": dict(self._join_kernel_pairs),
+        }
 
     def metrics_snapshot(self) -> dict:
         """JSON-friendly export of every metric (histograms included)."""

@@ -254,10 +254,13 @@ class TestPersistentPool:
         assert excinfo.value.shard_id == 7
         column = tuple(f"value-{i:03d}" for i in range(60))
         fingerprint = column_fingerprint(column, adaptive_q(column))
-        shard_id, _, _, _, vids, distances = parallel_module._score_shard(
-            1, 9, ["value-0070"], fingerprint, column, None
+        shard_id, _, _, _, kernel_pairs, vids, distances = (
+            parallel_module._score_shard(
+                1, 9, ["value-0070"], fingerprint, column, None
+            )
         )
         assert shard_id == 1 and distances.tolist() == [1]
+        assert sum(dict(kernel_pairs).values()) >= 1
         # Fingerprint-only now resolves through the memo, no column.
         shard_id, *_ = parallel_module._score_shard(
             2, 9, ["value-0080"], fingerprint, None, None
