@@ -13,16 +13,27 @@ A second section isolates the memoized result cache: the same request
 set replayed against a warm service, where every row is served from the
 content-fingerprinted cache without touching the engine.
 
+A third section scales **out of the GIL**: the same 16-client request
+set against a :class:`~repro.serve.router.ServiceRouter` fronting
+1 / 2 / 4 pre-fork worker processes, byte-checked against the direct
+pipeline like every other row.  ``speedup_vs_inprocess`` compares each
+worker count to the in-process service at the same concurrency, so it
+isolates what the process tier adds over micro-batching alone.
+
 Results go to ``BENCH_serve.json`` at the repository root.  Run
 directly for the full sweep, or with ``--smoke`` for a seconds-scale
 sanity run that enforces the CI floors: coalesced throughput >= 2x the
-serial baseline at 16 clients, and warm-cache replay >= 10x faster than
-the cold run.
+serial baseline at 16 clients, warm-cache replay >= 10x faster than
+the cold run, and >= 2x at 4 workers vs in-process — the last only on
+hosts actually granting >= 4 cores (starved runners record the rows
+and flag them via the manifest's ``artifact_flags`` instead of
+failing).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import statistics
 import time
@@ -39,7 +50,7 @@ from conftest import persist
 from repro.core.pipeline import DTTPipeline
 from repro.model import ByteSeq2SeqModel
 from repro.model.config import DTTModelConfig
-from repro.serve import TransformService
+from repro.serve import RouteSpec, ServiceRouter, TransformService
 from repro.types import ExamplePair
 from repro.utils.fuzz import random_unicode_string
 
@@ -54,6 +65,8 @@ _N_TRIALS = 1
 _MAX_WAIT_MS = 2.0
 _THROUGHPUT_FLOOR_AT_16 = 2.0
 _WARM_CACHE_FLOOR = 10.0
+_WORKER_COUNTS = (1, 2, 4)
+_MULTIPROCESS_FLOOR_AT_4 = 2.0
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
 _JSON_PATH = artifact_path("serve")
 
@@ -181,6 +194,41 @@ def run_serve_bench(seed: int = _SEED, n_requests: int = _N_REQUESTS) -> dict:
         "cache_hits": warm_stats.cache_hits,
         "cache_misses": warm_stats.cache_misses,
     }
+
+    # Multi-process axis: the same 16-client workload against a router
+    # fronting N worker processes, compared to the in-process service
+    # at the same concurrency (cold_wall_at_16).
+    multiprocess = []
+    for workers in _WORKER_COUNTS:
+        router = ServiceRouter(
+            [RouteSpec("bench", _pipeline)],
+            n_workers=workers,
+            service_kwargs={
+                "max_wait_ms": _MAX_WAIT_MS,
+                "max_queue": 4 * n_requests,
+            },
+        )
+        try:
+            results, wall, p50 = _run_clients(
+                router, sources, _CLIENT_COUNTS[-1]
+            )
+            assert results == expected, (
+                f"router output diverged from direct pipeline at "
+                f"{workers} workers"
+            )
+        finally:
+            router.close()
+        multiprocess.append(
+            {
+                "serve_workers": workers,
+                "clients": _CLIENT_COUNTS[-1],
+                "requests": n_requests,
+                "seconds": round(wall, 4),
+                "throughput_rps": round(n_requests / wall, 1),
+                "p50_latency_ms": round(p50 * 1000, 2),
+                "speedup_vs_inprocess": round(cold_wall_at_16 / wall, 2),
+            }
+        )
     return stamp_provenance({
         "bench": "serve",
         "seed": seed,
@@ -193,6 +241,7 @@ def run_serve_bench(seed: int = _SEED, n_requests: int = _N_REQUESTS) -> dict:
         },
         "rows": rows,
         "warm_cache": cache,
+        "multiprocess": multiprocess,
     })
 
 
@@ -219,7 +268,53 @@ def _render(report: dict) -> str:
         f"{cache['warm_seconds']:.3f}s ({cache['speedup']:.1f}x, "
         f"p50 {cache['warm_p50_latency_ms']:.2f} ms)"
     )
+    lines.append("\nMulti-process router at 16 clients vs in-process service")
+    lines.append(
+        "workers".ljust(9)
+        + "seconds".rjust(9)
+        + "rps".rjust(8)
+        + "p50 ms".rjust(9)
+        + "speedup".rjust(9)
+    )
+    for row in report["multiprocess"]:
+        lines.append(
+            f"{row['serve_workers']:<9d}{row['seconds']:>9.3f}"
+            f"{row['throughput_rps']:>8.1f}{row['p50_latency_ms']:>9.2f}"
+            f"{row['speedup_vs_inprocess']:>8.2f}x"
+        )
     return "\n".join(lines)
+
+
+def _granted_cores() -> int:
+    """Cores the scheduler actually grants (affinity beats cpu_count)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _assert_floors(report: dict) -> None:
+    """The CI acceptance bars shared by the pytest and smoke paths."""
+    by_clients = {row["clients"]: row for row in report["rows"]}
+    # Coalescing must beat serial 2x at 16 clients.
+    assert (
+        by_clients[16]["speedup_vs_serial"] >= _THROUGHPUT_FLOOR_AT_16
+    ), f"serving coalescing regressed below 2x: {by_clients[16]}"
+    # Warm-cache hits must be an order of magnitude cheaper.
+    assert report["warm_cache"]["speedup"] >= _WARM_CACHE_FLOOR, (
+        f"warm-cache replay regressed below 10x: {report['warm_cache']}"
+    )
+    # The process tier must scale on hosts that can actually scale it;
+    # starved runners record the rows and the manifest's artifact_flags
+    # carry the caveat instead of a spurious failure.
+    by_workers = {
+        row["serve_workers"]: row for row in report["multiprocess"]
+    }
+    if _granted_cores() >= max(_WORKER_COUNTS):
+        assert (
+            by_workers[4]["speedup_vs_inprocess"]
+            >= _MULTIPROCESS_FLOOR_AT_4
+        ), f"multi-process tier regressed below 2x: {by_workers[4]}"
 
 
 def test_bench_serve(results_dir):
@@ -230,15 +325,7 @@ def test_bench_serve(results_dir):
         "serve",
         _render(report) + f"\n\n[json written to {_JSON_PATH}]",
     )
-    by_clients = {row["clients"]: row for row in report["rows"]}
-    # The acceptance bar: coalescing must beat serial 2x at 16 clients.
-    assert (
-        by_clients[16]["speedup_vs_serial"] >= _THROUGHPUT_FLOOR_AT_16
-    ), by_clients[16]
-    # And warm-cache hits must be an order of magnitude cheaper.
-    assert report["warm_cache"]["speedup"] >= _WARM_CACHE_FLOOR, report[
-        "warm_cache"
-    ]
+    _assert_floors(report)
 
 
 if __name__ == "__main__":
@@ -249,13 +336,7 @@ if __name__ == "__main__":
         # CI-enforced floors (the full bars are asserted by
         # ``pytest benchmarks/bench_serve.py``, which refreshes the
         # committed artifact).
-        by_clients = {row["clients"]: row for row in report["rows"]}
-        assert (
-            by_clients[16]["speedup_vs_serial"] >= _THROUGHPUT_FLOOR_AT_16
-        ), f"serving coalescing regressed below 2x: {by_clients[16]}"
-        assert report["warm_cache"]["speedup"] >= _WARM_CACHE_FLOOR, (
-            f"warm-cache replay regressed below 10x: {report['warm_cache']}"
-        )
+        _assert_floors(report)
     else:
         report = run_serve_bench()
         emit_report(report, _JSON_PATH, args)

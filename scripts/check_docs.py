@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Docs link-and-freshness check: the ``docs/`` site must stay true.
+
+Three classes of rot this catches, each a CI failure:
+
+* **Dead links** — every relative markdown link in ``README.md`` and
+  ``docs/*.md`` must resolve to a file inside the repository, and a
+  ``#fragment`` pointing into a markdown file must match one of that
+  file's heading anchors (GitHub slug rules).  Links that leave the
+  repository (``https://``, the CI badge's ``../../actions/...``) are
+  out of scope — we cannot validate the outside world from a checkout.
+* **Undocumented benchmarks** — every committed ``BENCH_*.json``
+  artifact at the repository root must be mentioned by name somewhere
+  in the docs, so a new gated artifact cannot land invisibly.
+* **Undocumented endpoints** — every path in
+  ``repro.serve.http.PUBLIC_ENDPOINTS`` must appear in
+  ``docs/http_api.md``, so the API reference cannot silently lag the
+  server.
+
+Usage::
+
+    python scripts/check_docs.py          # exit 0 clean, 1 with findings
+
+``tests/test_docs.py`` runs the same functions in the tier-1 lane, so
+the check gates merges even before the dedicated CI step runs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The pages the docs site must always have; a rename without updating
+#: this tuple (and every inbound link) is a failure, not a drive-by.
+REQUIRED_PAGES = ("architecture.md", "http_api.md", "operations.md")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*\S)\s*$")
+
+
+def collect_doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown set under check: ``README.md`` + ``docs/*.md``."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def _heading_anchors(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading outside code fences."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in markdown.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            heading = match.group(1).lower()
+            slug = re.sub(r"[^\w\- ]", "", heading).replace(" ", "-")
+            anchors.add(slug)
+    return anchors
+
+
+def check_links(files: list[Path], root: Path = REPO_ROOT) -> list[str]:
+    """Dead relative links and dangling ``#fragment`` anchors."""
+    problems: list[str] = []
+    root = root.resolve()
+    for doc in files:
+        text = doc.read_text()
+        rel_doc = doc.resolve().relative_to(root)
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if not path_part:
+                # Same-page anchor.
+                if fragment and fragment not in _heading_anchors(text):
+                    problems.append(
+                        f"{rel_doc}: dangling same-page anchor #{fragment}"
+                    )
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.is_relative_to(root):
+                # Points outside the checkout (e.g. the CI badge's
+                # GitHub-relative URL) — unverifiable from here.
+                continue
+            if not resolved.exists():
+                problems.append(f"{rel_doc}: dead link {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                anchors = _heading_anchors(resolved.read_text())
+                if fragment not in anchors:
+                    problems.append(
+                        f"{rel_doc}: link {target} points at a heading "
+                        f"{resolved.name} does not have"
+                    )
+    return problems
+
+
+def check_bench_coverage(
+    files: list[Path], root: Path = REPO_ROOT
+) -> list[str]:
+    """Every committed ``BENCH_*.json`` must be named in the docs."""
+    corpus = "\n".join(f.read_text() for f in files)
+    problems = []
+    for artifact in sorted(root.glob("BENCH_*.json")):
+        if artifact.name not in corpus:
+            problems.append(
+                f"{artifact.name}: committed benchmark artifact is never "
+                "mentioned in README.md or docs/"
+            )
+    return problems
+
+
+def check_endpoint_coverage(root: Path = REPO_ROOT) -> list[str]:
+    """Every public HTTP endpoint must appear in ``docs/http_api.md``."""
+    from repro.serve.http import PUBLIC_ENDPOINTS
+
+    api_doc = root / "docs" / "http_api.md"
+    if not api_doc.is_file():
+        return ["docs/http_api.md: missing (the API reference page)"]
+    text = api_doc.read_text()
+    return [
+        f"docs/http_api.md: public endpoint {endpoint} is undocumented"
+        for endpoint in PUBLIC_ENDPOINTS
+        if endpoint not in text
+    ]
+
+
+def check_required_pages(root: Path = REPO_ROOT) -> list[str]:
+    """The three pages the README promises must exist."""
+    return [
+        f"docs/{page}: required page is missing"
+        for page in REQUIRED_PAGES
+        if not (root / "docs" / page).is_file()
+    ]
+
+
+def run_all(root: Path = REPO_ROOT) -> list[str]:
+    """Every check; the full problem list (empty means clean)."""
+    files = collect_doc_files(root)
+    problems = check_required_pages(root)
+    problems += check_links(files, root)
+    problems += check_bench_coverage(files, root)
+    problems += check_endpoint_coverage(root)
+    return problems
+
+
+def main() -> int:
+    problems = run_all()
+    for problem in problems:
+        print(f"check_docs: {problem}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    files = collect_doc_files()
+    print(f"check_docs: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

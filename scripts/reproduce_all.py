@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """One-command reproduction: every gated bench + the eval tables -> one manifest.
 
-Re-runs the six ``BENCH_*.json`` emitters (via their shared
+Re-runs the seven ``BENCH_*.json`` emitters (via their shared
 ``--smoke`` / ``--json-out`` CLI) and a scaled-down slice of the eval
 tables, then folds everything into a single machine-readable **run
 manifest** (schema in :mod:`repro.obs.manifest`): environment and host

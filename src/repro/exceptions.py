@@ -65,3 +65,22 @@ class ServiceClosedError(ServeError):
 
 class DeadlineExceededError(ServeError):
     """Raised when a request's deadline expires before execution starts."""
+
+
+class WorkerCrashedError(ServeError):
+    """Raised when a serving worker process dies with requests in flight.
+
+    The requests it carried are lost (HTTP 503); the pool respawns the
+    worker before dispatching new work, so the failure is bounded to
+    the in-flight batch — exactly the blast radius of a crash in any
+    shared-nothing replica tier.
+    """
+
+
+class UnknownModelError(ServeError):
+    """Raised when a request names a model no route serves.
+
+    The ``model`` selector must be a configured route name, a full
+    pipeline fingerprint, or an unambiguous fingerprint prefix (at
+    least 8 hex characters); see ``GET /v1/models`` for the live list.
+    """

@@ -207,16 +207,23 @@ def plan_shards(
     return shards
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
+def pool_context() -> multiprocessing.context.BaseContext:
     """Pick a start method: ``fork`` when it is safe, else a fresh start.
 
-    ``fork`` is preferred — cheap startup, and the parent's index cache
-    arrives copy-on-write — but forking a multi-threaded process is a
-    deadlock hazard: any lock held by another thread at fork time (the
-    index cache's own lock included) stays held forever in the child.
-    With other threads alive (the serving layer's scheduler, a caller's
-    thread pool), fall back to ``forkserver``/``spawn``, which start
-    workers from a clean interpreter.
+    ``fork`` is preferred — cheap startup, and the parent's built state
+    (index caches, model weights) arrives copy-on-write — but forking a
+    multi-threaded process is a deadlock hazard: any lock held by
+    another thread at fork time (the index cache's own lock included)
+    stays held forever in the child.  With other threads alive (the
+    serving layer's scheduler, a caller's thread pool), fall back to
+    ``forkserver``/``spawn``, which start workers from a clean
+    interpreter.
+
+    This policy is shared process-spawning machinery: the join engine's
+    :class:`JoinWorkerPool` and the serving tier's
+    :class:`~repro.serve.workers.ServeWorkerPool` both decide fork
+    safety through it, so "fork-first, but never fork a threaded
+    parent" holds everywhere worker processes are started.
     """
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods and threading.active_count() == 1:
@@ -224,6 +231,10 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     if "forkserver" in methods:
         return multiprocessing.get_context("forkserver")
     return multiprocessing.get_context("spawn")
+
+
+#: Backwards-compatible alias (pre-PR-9 internal name).
+_pool_context = pool_context
 
 
 def _init_worker(

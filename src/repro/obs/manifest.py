@@ -157,6 +157,10 @@ def key_metrics(bench: str, report: dict) -> dict[str, float]:
         warm = report.get("warm_cache") or {}
         if "speedup" in warm:
             metrics["warm_cache_speedup"] = float(warm["speedup"])
+        multi = report.get("multiprocess") or []
+        metrics.update(
+            _labeled(multi, "serve_workers", "speedup_vs_inprocess")
+        )
     return metrics
 
 
@@ -215,10 +219,22 @@ def artifact_flags(bench: str, report: dict) -> list[str]:
                 f"recorded_with_{cores}_cores_for_{max(workers)}_workers:"
                 "_parallel_speedups_measure_shard_locality_only"
             )
-    if bench == "serve" and cores is not None and cores < 2:
-        flags.append(
-            "recorded_on_single_core_host:_client_threads_share_one_core"
-        )
+    if bench == "serve":
+        if cores < 2:
+            flags.append(
+                "recorded_on_single_core_host:_client_threads_share_one_core"
+            )
+        serve_workers = [
+            row["serve_workers"]
+            for row in report.get("multiprocess") or []
+            if "serve_workers" in row
+        ]
+        if serve_workers and cores < max(serve_workers):
+            flags.append(
+                f"recorded_with_{cores}_cores_for_{max(serve_workers)}"
+                "_serve_workers:_multiprocess_speedups_measure_"
+                "dispatch_overhead_only"
+            )
     return flags
 
 

@@ -248,6 +248,86 @@ def _format_number(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict[str, str], extra: str = "") -> str:
+    """Render ``{key="value",...}`` with values escaped; keys as given."""
+    parts = [
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}"
+
+
+def merge_labeled_snapshots(
+    labeled: Sequence[tuple[dict[str, str], dict]],
+) -> str:
+    """Merge per-source registry snapshots into one labeled exposition.
+
+    The multi-process serving tier has one
+    :class:`MetricsRegistry` *per route per worker*; a scrape endpoint
+    must present them as one page.  Each input pairs a label set (e.g.
+    ``{"worker": "0", "route": "default"}``) with the JSON snapshot of
+    one registry (:meth:`MetricsRegistry.snapshot`), and the output is
+    Prometheus text exposition 0.0.4 with one ``# TYPE`` block per
+    metric name and one sample per label set — so ``sum by (route)
+    (serve_requests_total)`` works exactly as it would against any
+    multi-replica exporter.
+
+    Metric kinds are recovered from the snapshot shape: a dict payload
+    is a histogram (rendered with labeled ``_bucket``/``_sum``/
+    ``_count`` series, ``le`` last), a ``_total`` name is a counter,
+    anything else a gauge — the same conventions
+    :meth:`MetricsRegistry.render_text` emits.
+    """
+    # name -> list of (labels, payload), first-seen name order.
+    by_name: dict[str, list[tuple[dict[str, str], object]]] = {}
+    for labels, snapshot in labeled:
+        for name, payload in snapshot.items():
+            by_name.setdefault(name, []).append((labels, payload))
+    lines: list[str] = []
+    for name, samples in by_name.items():
+        is_histogram = isinstance(samples[0][1], dict)
+        if is_histogram:
+            kind = "histogram"
+        elif name.endswith("_total"):
+            kind = "counter"
+        else:
+            kind = "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, payload in samples:
+            if isinstance(payload, dict):
+                for bucket in payload["buckets"]:
+                    le = 'le="' + _format_number(bucket["le"]) + '"'
+                    rendered = _render_labels(labels, le)
+                    lines.append(
+                        f"{name}_bucket{rendered} {bucket['count']}"
+                    )
+                rendered = _render_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{rendered} {payload['count']}")
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_number(payload['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} "
+                    f"{payload['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_number(payload)}"  # type: ignore[arg-type]
+                )
+    return "\n".join(lines) + "\n"
+
+
 class MetricsRegistry:
     """A named collection of counters, gauges, and histograms.
 

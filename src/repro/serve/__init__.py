@@ -1,26 +1,54 @@
-"""The serving layer: a long-lived transform-join service.
+"""The serving layer: a long-lived, multi-process transform-join tier.
 
 Every other entry point in the repository is a one-shot library call;
 this package amortizes work *across* callers.  A
 :class:`TransformService` wraps one :class:`~repro.core.pipeline.DTTPipeline`
 behind a dynamic micro-batching scheduler (concurrent requests coalesce
-into single engine and join passes, byte-identical to direct calls), a
-content-fingerprinted :class:`ResultCache` (TTL + LRU + byte-bounded
-memoization of transform results), and full request lifecycle machinery
+into single engine and join passes, byte-identical to direct calls),
+content-fingerprinted caches (:class:`ResultCache` for transforms,
+:class:`JoinResultCache` whole-request memoization of Eq. 5 joins; both
+TTL + LRU + byte-bounded), and full request lifecycle machinery
 (futures, deadlines, cancellation, bounded-queue backpressure).
-:mod:`repro.serve.http` puts a dependency-free JSON front end over it —
-``python -m repro.serve`` starts a server.
+
+Above the single service sit two scaling tiers:
+
+* :class:`ServeWorkerPool` — N pre-fork worker **processes**, each
+  hosting the full service stack, with copy-on-write pipeline reuse,
+  crash containment, and automatic respawn;
+* :class:`ServiceRouter` — multi-pipeline routing: one deployment
+  fronting several model fingerprints (``model=<name | fingerprint>``
+  selectors, a ``/v1/models`` listing) over in-process services or a
+  shared worker pool, with parent-side per-route caches.
+
+:mod:`repro.serve.http` puts a dependency-free JSON front end over
+either tier — ``python -m repro.serve`` starts a server (see
+``--serve-workers`` and ``--route``).  ``docs/architecture.md`` walks
+the request lifecycle end to end; ``docs/http_api.md`` specifies the
+wire format; ``docs/operations.md`` covers deployment and tuning.
 """
 
-from repro.serve.cache import ResultCache, examples_fingerprint
+from repro.serve.cache import (
+    JoinResultCache,
+    ResultCache,
+    examples_fingerprint,
+    join_cache_key,
+)
 from repro.serve.http import serve_http, start_http_server
+from repro.serve.router import RouteSpec, ServiceRouter, build_pipeline
 from repro.serve.service import ServeStats, TransformService
+from repro.serve.workers import ServeWorkerPool
 
 __all__ = [
+    "JoinResultCache",
     "ResultCache",
+    "RouteSpec",
     "ServeStats",
+    "ServeWorkerPool",
+    "ServiceRouter",
     "TransformService",
+    "build_pipeline",
     "examples_fingerprint",
+    "join_cache_key",
     "serve_http",
     "start_http_server",
 ]

@@ -1,48 +1,51 @@
 """``python -m repro.serve`` — start the transform-join HTTP service.
 
-Builds a pipeline (the deterministic pretrained stand-in by default, or
-the DTT+GPT3 ensemble), wraps it in a micro-batching
-:class:`~repro.serve.service.TransformService`, and serves the JSON API
-of :mod:`repro.serve.http` in the foreground.
+Builds one or more pipeline routes (the deterministic pretrained
+stand-in by default, or the DTT+GPT3 ensemble), wraps them in a
+:class:`~repro.serve.router.ServiceRouter` — in-process with
+``--serve-workers 0``, or fronting that many pre-fork worker processes
+— and serves the JSON API of :mod:`repro.serve.http` in the foreground.
 
 Example session::
 
-    $ python -m repro.serve --port 8080 &
-    $ curl -s localhost:8080/v1/join -d '{
+    $ python -m repro.serve --port 8080 --serve-workers 4 \\
+          --route pretrained --route ensemble &
+    $ curl -s localhost:8080/v1/models
+    $ curl -s 'localhost:8080/v1/join?model=ensemble' -d '{
         "sources": ["Jean Chretien"],
         "targets": ["jchretien", "kcampbell"],
         "examples": [["Justin Trudeau", "jtrudeau"],
                      ["Stephen Harper", "sharper"],
                      ["Paul Martin", "pmartin"]]}'
     $ curl -s localhost:8080/v1/stats
+
+See ``docs/operations.md`` for choosing worker counts and cache sizes.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 
-from repro.core.pipeline import DTTPipeline
-from repro.serve.cache import ResultCache
+from repro.serve.cache import JoinResultCache, ResultCache
 from repro.serve.http import serve_http
+from repro.serve.router import RouteSpec, ServiceRouter, build_pipeline
 from repro.serve.service import TransformService
-from repro.surrogate import GPT3Surrogate, PretrainedDTT
 
 
 def build_service(args: argparse.Namespace) -> TransformService:
-    """Construct the pipeline and service from parsed CLI options."""
-    if args.model == "ensemble":
-        model = [PretrainedDTT(seed=args.seed), GPT3Surrogate(seed=args.seed)]
-    else:
-        model = PretrainedDTT(seed=args.seed)
-    pipeline = DTTPipeline(
-        model,
+    """Construct the single in-process service (the pre-router path).
+
+    Used when the CLI asks for neither ``--route`` nor
+    ``--serve-workers``: one pipeline, one
+    :class:`~repro.serve.service.TransformService`, no routing layer —
+    the HTTP server wraps it in a single-route router internally.
+    """
+    pipeline = build_pipeline(
+        model=args.model,
         context_size=args.context_size,
         n_trials=args.n_trials,
         seed=args.seed,
-    )
-    cache = ResultCache(
-        max_entries=args.cache_max_entries,
-        ttl_seconds=args.cache_ttl_s,
     )
     return TransformService(
         pipeline,
@@ -50,11 +53,56 @@ def build_service(args: argparse.Namespace) -> TransformService:
         max_batch_rows=args.max_batch_rows,
         max_queue=args.max_queue,
         default_timeout=args.default_timeout_s,
-        result_cache=cache,
+        result_cache=ResultCache(**_cache_kwargs(args)),
+        join_cache=JoinResultCache(**_cache_kwargs(args)),
     )
 
 
+def build_router(args: argparse.Namespace) -> ServiceRouter:
+    """Construct the route set and router from parsed CLI options."""
+    route_names = args.route or [args.model]
+    routes = [
+        RouteSpec(
+            name=name,
+            # functools.partial over the module-level builder stays
+            # picklable, which spawn-started workers require.
+            factory=functools.partial(
+                build_pipeline,
+                model=name,
+                context_size=args.context_size,
+                n_trials=args.n_trials,
+                seed=args.seed,
+            ),
+            cache_kwargs=_cache_kwargs(args),
+        )
+        for name in route_names
+    ]
+    return ServiceRouter(
+        routes,
+        n_workers=args.serve_workers,
+        service_kwargs={
+            "max_wait_ms": args.max_wait_ms,
+            "max_batch_rows": args.max_batch_rows,
+            "max_queue": args.max_queue,
+            "default_timeout": args.default_timeout_s,
+            # Parameters, not cache objects: they must survive the
+            # pickle into spawn-started workers (see
+            # repro.serve.workers.build_service).
+            "result_cache_kwargs": _cache_kwargs(args),
+            "join_cache_kwargs": _cache_kwargs(args),
+        },
+    )
+
+
+def _cache_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {"max_entries": args.cache_max_entries}
+    if args.cache_ttl_s is not None:
+        kwargs["ttl_seconds"] = args.cache_ttl_s
+    return kwargs
+
+
 def main(argv: list[str] | None = None) -> None:
+    """Parse CLI options, build the router, serve until interrupted."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve", description=__doc__
     )
@@ -64,7 +112,23 @@ def main(argv: list[str] | None = None) -> None:
         "--model",
         choices=("pretrained", "ensemble"),
         default="pretrained",
-        help="pretrained = the DTT stand-in; ensemble adds the GPT-3 surrogate",
+        help="pretrained = the DTT stand-in; ensemble adds the GPT-3 "
+        "surrogate (ignored when --route is given)",
+    )
+    parser.add_argument(
+        "--route",
+        action="append",
+        choices=("pretrained", "ensemble"),
+        default=None,
+        help="serve this pipeline as a named route; repeat for a "
+        "multi-model deployment (first route is the default)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=0,
+        help="worker processes hosting the service stack; 0 (default) "
+        "serves in-process",
     )
     parser.add_argument("--context-size", type=int, default=2)
     parser.add_argument("--n-trials", type=int, default=5)
@@ -94,7 +158,7 @@ def main(argv: list[str] | None = None) -> None:
         "--cache-ttl-s",
         type=float,
         default=None,
-        help="result-cache entry lifetime (default: no expiry)",
+        help="result- and join-cache entry lifetime (default: no expiry)",
     )
     parser.add_argument(
         "--max-request-bytes",
@@ -111,9 +175,14 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
-    service = build_service(args)
+    if args.route is not None and len(set(args.route)) != len(args.route):
+        parser.error("duplicate --route values")
+    if args.serve_workers == 0 and args.route is None:
+        backend: TransformService | ServiceRouter = build_service(args)
+    else:
+        backend = build_router(args)
     serve_http(
-        service,
+        backend,
         args.host,
         args.port,
         verbose=not args.quiet,

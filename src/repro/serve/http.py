@@ -12,7 +12,10 @@ Endpoints (all bodies JSON; successful responses carry
 
 * ``POST /v1/transform`` — ``{"sources": [...], "examples": [[s, t],
   ...], "timeout_s": 30.0?}`` → ``{"schema_version", "predictions":
-  [{"source", "value", "votes", "candidates"}]}``
+  [{"source", "value", "votes", "candidates"}]}``.  Multi-route
+  deployments pick a pipeline with ``?model=<selector>`` (or a
+  ``"model"`` body field): a route name, full pipeline fingerprint, or
+  unambiguous fingerprint prefix — see ``GET /v1/models``.
 * ``POST /v1/join`` — transform body plus ``"targets": [...]`` and the
   optional query-surface fields ``"mode"`` (``"argmin"`` | ``"topk"``
   | ``"reverse"``, default ``"argmin"``), ``"k"`` (int >= 1) and
@@ -22,6 +25,9 @@ Endpoints (all bodies JSON; successful responses carry
   ``"candidates": [{"value", "distance", "row"}]``; ``reverse``
   returns ``{"groups": [{"row", "target", "sources": [...]}],
   "unmatched": [...]}`` over source-row indices.
+* ``GET /v1/models`` — the routes this deployment fronts:
+  ``{"schema_version", "models": [{"name", "fingerprint", "default"}],
+  "n_workers"}``.
 * ``GET /v1/stats`` — the service's :class:`ServeStats` snapshot, plus
   a ``"join"`` block (last join's :class:`~repro.index.parallel.JoinStats`
   and cumulative pairs scored per kernel backend) and a ``"metrics"``
@@ -35,8 +41,11 @@ Every error body is structured: ``{"error": {"code", "detail",
 names the offending request field when one is known.  Mapping:
 malformed requests (bad JSON, bad ``Content-Length``, truncated
 bodies, unknown or ill-typed fields) → 400, oversized bodies → 413, a
-client stalling mid-body past the read timeout → 408, queue
-backpressure → 429, expired deadlines → 504, a closed service → 503.
+client stalling mid-body past the read timeout → 408, an unknown or
+ambiguous ``model`` selector → 404, queue backpressure → 429, expired
+deadlines → 504, a closed service or a worker process crashing with
+the request in flight → 503 (the latter with code ``worker_crashed``;
+the pool respawns the worker, so retrying is safe).
 Body reads are bounded in both bytes (``max_request_bytes``) and time
 (``request_timeout_s``), so a hostile or broken client can neither
 balloon memory nor pin a handler thread forever.
@@ -46,6 +55,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.join_config import JOIN_MODES
 from repro.exceptions import (
@@ -53,7 +63,10 @@ from repro.exceptions import (
     ReproError,
     ServiceClosedError,
     ServiceOverloadedError,
+    UnknownModelError,
+    WorkerCrashedError,
 )
+from repro.serve.router import ServiceRouter
 from repro.serve.service import TransformService
 from repro.types import ExamplePair
 
@@ -63,7 +76,19 @@ _READ_TIMEOUT_S = 30.0
 #: Wire-format version stamped into every successful response.
 SCHEMA_VERSION = 1
 
-_TRANSFORM_FIELDS = frozenset({"sources", "examples", "timeout_s"})
+#: Every path the server answers — the docs checker asserts each one is
+#: covered by ``docs/http_api.md``, so adding an endpoint here without
+#: documenting it fails CI.
+PUBLIC_ENDPOINTS = (
+    "/v1/transform",
+    "/v1/join",
+    "/v1/models",
+    "/v1/stats",
+    "/metrics",
+    "/healthz",
+)
+
+_TRANSFORM_FIELDS = frozenset({"sources", "examples", "timeout_s", "model"})
 _JOIN_FIELDS = _TRANSFORM_FIELDS | {"targets", "mode", "k", "margin"}
 
 
@@ -177,6 +202,35 @@ def _join_k(payload: dict) -> int:
     return k
 
 
+def _model_selector(payload: dict, query: dict[str, list[str]]) -> str | None:
+    """The route selector: ``?model=`` query param or ``"model"`` field.
+
+    Either spelling works; sending both only works when they agree (a
+    silent precedence rule would make one of them a no-op).  ``None``
+    means the default route.
+    """
+    from_query = query.get("model", [None])[-1]
+    from_body = payload.get("model")
+    if from_body is not None and not isinstance(from_body, str):
+        raise _BadRequest(
+            "'model' must be a string (route name or fingerprint prefix)",
+            code="invalid_value",
+            field="model",
+        )
+    if (
+        from_query is not None
+        and from_body is not None
+        and from_query != from_body
+    ):
+        raise _BadRequest(
+            f"conflicting model selectors: query says {from_query!r}, "
+            f"body says {from_body!r}",
+            code="invalid_value",
+            field="model",
+        )
+    return from_body if from_body is not None else from_query
+
+
 def _join_margin(payload: dict) -> float | None:
     margin = payload.get("margin")
     if margin is None:
@@ -203,13 +257,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing ---------------------------------------------------------
 
     def setup(self) -> None:
-        # StreamRequestHandler applies ``self.timeout`` to the socket
-        # during setup, bounding every blocking read — without it a
-        # client that stalls mid-body pins this handler thread forever.
+        """Apply the server's socket timeout before any read.
+
+        ``StreamRequestHandler`` applies ``self.timeout`` to the socket
+        during setup, bounding every blocking read — without it a
+        client that stalls mid-body pins this handler thread forever.
+        """
         self.timeout = self.server.request_timeout_s
         super().setup()
 
     def log_message(self, format: str, *args: object) -> None:
+        """Log the request line only when the server is verbose."""
         if self.server.verbose:
             super().log_message(format, *args)
 
@@ -271,22 +329,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- endpoints --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server's contract
-        if self.path == "/healthz":
-            self._send_json(200, {"ok": not self.server.service.closed})
-        elif self.path == "/v1/stats":
-            service = self.server.service
+        """Serve the read-only endpoints: models, stats, metrics, health."""
+        path = urlsplit(self.path).path
+        router = self.server.router
+        if path == "/healthz":
+            self._send_json(200, {"ok": not router.closed})
+        elif path == "/v1/models":
             self._send_json(
                 200,
                 {
-                    **service.stats().as_dict(),
-                    "join": service.join_stats_snapshot(),
-                    "metrics": service.metrics_snapshot(),
+                    "schema_version": SCHEMA_VERSION,
+                    "models": router.models(),
+                    "n_workers": router.n_workers,
                 },
             )
-        elif self.path == "/metrics":
+        elif path == "/v1/stats":
+            self._send_json(200, router.stats())
+        elif path == "/metrics":
             self._send_text(
                 200,
-                self.server.service.metrics_text(),
+                router.metrics_text(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
         else:
@@ -295,12 +357,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server's contract
+        """Dispatch transform/join requests, mapping errors to the table."""
         try:
+            split = urlsplit(self.path)
+            query = parse_qs(split.query)
             payload = self._read_json()
-            if self.path == "/v1/transform":
-                self._handle_transform(payload)
-            elif self.path == "/v1/join":
-                self._handle_join(payload)
+            if split.path == "/v1/transform":
+                self._handle_transform(payload, query)
+            elif split.path == "/v1/join":
+                self._handle_join(payload, query)
             else:
                 self._send_json(
                     404,
@@ -327,6 +392,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(429, _error_body("overloaded", str(error)))
         except DeadlineExceededError as error:
             self._send_json(504, _error_body("deadline_exceeded", str(error)))
+        except UnknownModelError as error:
+            self._send_json(404, _error_body("unknown_model", str(error)))
+        except WorkerCrashedError as error:
+            # A worker died with this request in flight; the pool has
+            # already respawned a replacement, so a retry is safe.
+            self._send_json(503, _error_body("worker_crashed", str(error)))
         except ServiceClosedError as error:
             self._send_json(503, _error_body("service_closed", str(error)))
         except ReproError as error:
@@ -341,12 +412,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 500, _error_body("internal", f"internal error: {error}")
             )
 
-    def _handle_transform(self, payload: dict) -> None:
+    def _handle_transform(
+        self, payload: dict, query: dict[str, list[str]]
+    ) -> None:
         _check_fields(payload, _TRANSFORM_FIELDS)
-        predictions = self.server.service.transform(
+        predictions = self.server.router.transform(
             _string_list(payload, "sources"),
             _example_pairs(payload),
             timeout=_timeout(payload),
+            model=_model_selector(payload, query),
         )
         self._send_json(
             200,
@@ -356,12 +430,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_join(self, payload: dict) -> None:
+    def _handle_join(
+        self, payload: dict, query: dict[str, list[str]]
+    ) -> None:
         _check_fields(payload, _JOIN_FIELDS)
         mode = _join_mode(payload)
         sources = _string_list(payload, "sources")
         targets = _string_list(payload, "targets")
-        results = self.server.service.join(
+        results = self.server.router.join(
             sources,
             targets,
             _example_pairs(payload),
@@ -369,6 +445,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             mode=mode,
             k=_join_k(payload),
             margin=_join_margin(payload),
+            model=_model_selector(payload, query),
         )
         body: dict = {"schema_version": SCHEMA_VERSION, "mode": mode}
         if mode == "reverse":
@@ -392,11 +469,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 class TransformServiceServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`TransformService`.
+    """A threading HTTP server bound to one serving backend.
 
     Args:
         address: ``(host, port)`` to bind.
-        service: The service every handler dispatches into.
+        service: The backend every handler dispatches into — either a
+            :class:`~repro.serve.router.ServiceRouter` (multi-route
+            and/or multi-process), or a bare :class:`TransformService`,
+            which is adopted as a single-route router
+            (:meth:`ServiceRouter.from_service`) without behavior
+            change.
         verbose: Log each request line.
         max_request_bytes: Declared-body bound; larger requests are
             refused with 413 before any body byte is read.
@@ -409,7 +491,7 @@ class TransformServiceServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        service: TransformService,
+        service: TransformService | ServiceRouter,
         verbose: bool = False,
         max_request_bytes: int = _MAX_BODY_BYTES,
         request_timeout_s: float = _READ_TIMEOUT_S,
@@ -423,14 +505,22 @@ class TransformServiceServer(ThreadingHTTPServer):
                 f"request_timeout_s must be positive, got {request_timeout_s}"
             )
         super().__init__(address, ServiceRequestHandler)
+        #: The backend exactly as handed in (kept for callers that
+        #: reach through the server to their service).
         self.service = service
+        #: What handlers dispatch into: always a router.
+        self.router = (
+            service
+            if isinstance(service, ServiceRouter)
+            else ServiceRouter.from_service(service)
+        )
         self.verbose = verbose
         self.max_request_bytes = max_request_bytes
         self.request_timeout_s = request_timeout_s
 
 
 def start_http_server(
-    service: TransformService,
+    service: TransformService | ServiceRouter,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
@@ -453,7 +543,7 @@ def start_http_server(
 
 
 def serve_http(
-    service: TransformService,
+    service: TransformService | ServiceRouter,
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = True,

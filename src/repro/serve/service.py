@@ -73,7 +73,12 @@ from repro.obs.metrics import (
     DEFAULT_OCCUPANCY_BUCKETS,
     MetricsRegistry,
 )
-from repro.serve.cache import ResultCache, examples_fingerprint
+from repro.serve.cache import (
+    JoinResultCache,
+    ResultCache,
+    examples_fingerprint,
+    join_cache_key,
+)
 from repro.types import ExamplePair, Prediction
 
 
@@ -103,6 +108,10 @@ class ServeStats:
         cache_expirations: Result-cache TTL expirations.
         cache_entries: Entries currently cached.
         cache_bytes: Approximate bytes currently cached.
+        join_cache_hits: Join-result cache hits (whole join requests
+            served without touching the engine or the joiner).
+        join_cache_misses: Join-result cache misses.
+        join_cache_entries: Join results currently cached.
         engine_prompts: Prompts handed to the generation engine.
         engine_decoded_rows: Unique rows the engine actually decoded.
         engine_steps: Decode steps across all micro-batches.
@@ -125,6 +134,9 @@ class ServeStats:
     cache_expirations: int = 0
     cache_entries: int = 0
     cache_bytes: int = 0
+    join_cache_hits: int = 0
+    join_cache_misses: int = 0
+    join_cache_entries: int = 0
     engine_prompts: int = 0
     engine_decoded_rows: int = 0
     engine_steps: int = 0
@@ -197,7 +209,14 @@ class _Request:
 class _Plan:
     """Per-request execution state inside one micro-batch."""
 
-    __slots__ = ("request", "predictions", "subtasks", "prompts", "cache_keys")
+    __slots__ = (
+        "request",
+        "predictions",
+        "subtasks",
+        "prompts",
+        "cache_keys",
+        "join_key",
+    )
 
     def __init__(self, request: _Request) -> None:
         self.request = request
@@ -209,6 +228,8 @@ class _Plan:
         self.prompts: list[str] = []
         #: Row-granular cache keys (row-cacheable pipelines only).
         self.cache_keys: list[tuple] | None = None
+        #: Whole-request join-cache key (join requests only).
+        self.join_key: tuple | None = None
 
 
 class TransformService:
@@ -231,6 +252,11 @@ class TransformService:
         result_cache: The memoized result cache; ``None`` builds a
             default :class:`ResultCache`.  Pass a cache with
             ``ttl_seconds`` to bound staleness.
+        join_cache: The join-result cache tier; ``None`` builds a
+            default :class:`JoinResultCache`.  Join requests memoize
+            end-to-end (transform *and* Eq. 5 resolution) at
+            whole-request granularity, keyed by
+            :func:`~repro.serve.cache.join_cache_key`.
         clock: Monotonic time source (injectable for tests).
     """
 
@@ -242,6 +268,7 @@ class TransformService:
         max_queue: int = 256,
         default_timeout: float | None = None,
         result_cache: ResultCache | None = None,
+        join_cache: JoinResultCache | None = None,
         clock=time.monotonic,
     ) -> None:
         if max_wait_ms < 0:
@@ -262,6 +289,9 @@ class TransformService:
         # therefore falsy, so ``or`` would silently discard it.
         self.result_cache = (
             result_cache if result_cache is not None else ResultCache()
+        )
+        self.join_cache = (
+            join_cache if join_cache is not None else JoinResultCache()
         )
         self._clock = clock
         #: Snapshot of the pipeline's content fingerprint; models must
@@ -348,6 +378,16 @@ class TransformService:
                 f"result-cache {name}",
                 fn=lambda n=name: getattr(self.result_cache, n),
             )
+            registry.counter(
+                f"join_cache_{name}_total",
+                f"join-result-cache {name}",
+                fn=lambda n=name: getattr(self.join_cache, n),
+            )
+        registry.gauge(
+            "join_cache_entries",
+            "join-result-cache entries currently held",
+            fn=lambda: len(self.join_cache),
+        )
         for field in (
             "requests",
             "transform_requests",
@@ -533,6 +573,7 @@ class TransformService:
                 return
             self._execute(batch)
             self.result_cache.sweep()
+            self.join_cache.sweep()
 
     def _next_batch(self) -> list[_Request] | None:
         """Pop one micro-batch: wait for work, then hold the window open."""
@@ -600,6 +641,8 @@ class TransformService:
         for request in ready:
             plan = _Plan(request)
             try:
+                if self._serve_join_from_cache(plan):
+                    continue
                 self._resolve_cache_and_prompts(plan)
             except Exception as error:  # per-request isolation
                 self._counters.failed += 1
@@ -610,6 +653,39 @@ class TransformService:
             return
         self._generate(plans)
         self._deliver(plans)
+
+    def _serve_join_from_cache(self, plan: _Plan) -> bool:
+        """Resolve a join request from the join-result cache tier.
+
+        A hit skips the whole pipeline — no prompts, no engine pass, no
+        Eq. 5 resolution — and is byte-identical to recomputing because
+        the key covers everything the output depends on (pipeline
+        fingerprint, example pool, sources, target-column content,
+        mode, ``k``, ``margin``).  Returns ``True`` when the future was
+        resolved here.
+        """
+        request = plan.request
+        if request.kind != "join":
+            return False
+        assert request.targets is not None
+        plan.join_key = join_cache_key(
+            self.model_fingerprint,
+            examples_fingerprint(request.examples),
+            request.sources,
+            request.targets,
+            request.mode,
+            request.k,
+            request.margin,
+        )
+        cached = self.join_cache.get(plan.join_key)
+        if cached is None:
+            return False
+        if request.mode == "reverse":
+            # Stored as immutable row tuples; callers get fresh lists.
+            request.future.set_result([list(group) for group in cached])
+        else:
+            request.future.set_result(list(cached))
+        return True
 
     def _resolve_cache_and_prompts(self, plan: _Plan) -> None:
         """Fill cache hits and build prompts for the remaining rows."""
@@ -764,8 +840,16 @@ class TransformService:
                 span = results[offset : offset + len(plan.predictions)]
                 offset += len(plan.predictions)
                 if mode == "reverse":
-                    request.future.set_result(invert_matches(span, targets))
+                    groups = invert_matches(span, targets)
+                    if plan.join_key is not None:
+                        self.join_cache.put(
+                            plan.join_key,
+                            (tuple(g) for g in groups),
+                        )
+                    request.future.set_result(groups)
                 else:
+                    if plan.join_key is not None:
+                        self.join_cache.put(plan.join_key, span)
                     request.future.set_result(list(span))
 
     # -- observability and lifecycle ---------------------------------------
@@ -783,6 +867,9 @@ class TransformService:
             cache_expirations=cache.expirations,
             cache_entries=len(cache),
             cache_bytes=cache.total_bytes,
+            join_cache_hits=self.join_cache.hits,
+            join_cache_misses=self.join_cache.misses,
+            join_cache_entries=len(self.join_cache),
         )
 
     def join_stats_snapshot(self) -> dict:
@@ -809,6 +896,7 @@ class TransformService:
 
     @property
     def closed(self) -> bool:
+        """Whether shutdown finished (scheduler stopped, queue drained)."""
         return self._closing and not self._thread.is_alive()
 
     def close(self, timeout: float | None = None) -> None:

@@ -1,0 +1,137 @@
+"""The docs link-and-freshness gate (``scripts/check_docs.py``).
+
+Tier-1 runs the same functions the CI step runs, in two directions:
+the committed docs must be clean, and each checker must actually fire
+on a deliberately rotten fixture — a gate that cannot fail guards
+nothing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_docs)
+
+
+class TestCommittedDocsAreClean:
+    def test_run_all_reports_nothing(self):
+        assert check_docs.run_all() == []
+
+    def test_cli_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_doc_set_is_the_site_plus_readme(self):
+        names = [f.name for f in check_docs.collect_doc_files()]
+        assert "README.md" in names
+        for page in check_docs.REQUIRED_PAGES:
+            assert page in names
+
+
+class TestBrokenDocsAreCaught:
+    """Each checker must fire on a deliberately rotten repo fixture."""
+
+    @pytest.fixture()
+    def fake_repo(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "# fake\n[ok](docs/architecture.md) mentions BENCH_real.json\n"
+        )
+        (tmp_path / "docs" / "architecture.md").write_text(
+            "# Architecture\n\n## Real heading\n"
+        )
+        (tmp_path / "docs" / "http_api.md").write_text("# API\n")
+        (tmp_path / "docs" / "operations.md").write_text("# Ops\n")
+        (tmp_path / "BENCH_real.json").write_text("{}")
+        return tmp_path
+
+    def _links(self, root):
+        return check_docs.check_links(
+            check_docs.collect_doc_files(root), root
+        )
+
+    def test_clean_fixture_passes_link_and_bench_checks(self, fake_repo):
+        assert self._links(fake_repo) == []
+        assert (
+            check_docs.check_bench_coverage(
+                check_docs.collect_doc_files(fake_repo), fake_repo
+            )
+            == []
+        )
+
+    def test_dead_link_fails(self, fake_repo):
+        (fake_repo / "docs" / "operations.md").write_text(
+            "# Ops\n[gone](nonexistent.md)\n"
+        )
+        problems = self._links(fake_repo)
+        assert len(problems) == 1
+        assert "dead link nonexistent.md" in problems[0]
+
+    def test_dangling_anchor_fails(self, fake_repo):
+        (fake_repo / "README.md").write_text(
+            "# fake\n[x](docs/architecture.md#no-such-heading)\n"
+            "BENCH_real.json\n"
+        )
+        problems = self._links(fake_repo)
+        assert len(problems) == 1
+        assert "no-such-heading" in problems[0] or "heading" in problems[0]
+
+    def test_valid_anchor_passes(self, fake_repo):
+        (fake_repo / "README.md").write_text(
+            "# fake\n[x](docs/architecture.md#real-heading)\n"
+            "BENCH_real.json\n"
+        )
+        assert self._links(fake_repo) == []
+
+    def test_external_links_are_skipped(self, fake_repo):
+        (fake_repo / "README.md").write_text(
+            "# fake\n[badge](../../actions/workflows/ci.yml/badge.svg)\n"
+            "[web](https://example.com/gone)\nBENCH_real.json\n"
+        )
+        assert self._links(fake_repo) == []
+
+    def test_unmentioned_bench_artifact_fails(self, fake_repo):
+        (fake_repo / "BENCH_orphan.json").write_text("{}")
+        problems = check_docs.check_bench_coverage(
+            check_docs.collect_doc_files(fake_repo), fake_repo
+        )
+        assert len(problems) == 1
+        assert "BENCH_orphan.json" in problems[0]
+
+    def test_missing_required_page_fails(self, fake_repo):
+        (fake_repo / "docs" / "operations.md").unlink()
+        problems = check_docs.check_required_pages(fake_repo)
+        assert problems == ["docs/operations.md: required page is missing"]
+
+    def test_undocumented_endpoint_fails(self, fake_repo):
+        # The fixture's http_api.md mentions no endpoint at all, so
+        # every real PUBLIC_ENDPOINTS entry must be reported.
+        from repro.serve.http import PUBLIC_ENDPOINTS
+
+        problems = check_docs.check_endpoint_coverage(fake_repo)
+        assert len(problems) == len(PUBLIC_ENDPOINTS)
+        for endpoint in PUBLIC_ENDPOINTS:
+            assert any(endpoint in p for p in problems)
+
+
+class TestEndpointRegistry:
+    def test_every_public_endpoint_documented_with_examples(self):
+        from repro.serve.http import PUBLIC_ENDPOINTS
+
+        text = (REPO_ROOT / "docs" / "http_api.md").read_text()
+        for endpoint in PUBLIC_ENDPOINTS:
+            assert endpoint in text
