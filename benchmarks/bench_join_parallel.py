@@ -38,6 +38,7 @@ from conftest import persist
 
 from repro.core.join_config import JoinConfig
 from repro.index import IndexCache, IndexedJoiner
+from repro.obs.manifest import BENCH_FLOORS
 from repro.utils.fuzz import random_edits, random_unicode_string
 
 _SEED = 41
@@ -45,7 +46,13 @@ _SIZES = (20000,)
 _SMOKE_SIZES = (4000,)
 _WORKER_COUNTS = (1, 2, 4, 8)
 _SMOKE_WORKER_COUNTS = (1, 2, 4)
-_SMOKE_FLOOR_AT_4 = 1.3
+# Acceptance bars from the shared schema (repro.obs.manifest), the
+# single source of truth this emitter, reproduce_all.py, and CI share.
+_FLOORS = {
+    spec["metric"]: spec["min"] for spec in BENCH_FLOORS["join_parallel"]
+}
+_SMOKE_FLOOR_AT_4 = _FLOORS["speedup[workers=4]"]
+_DISK_WARM_FLOOR = _FLOORS["disk_warm_speedup"]
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
 _JSON_PATH = artifact_path("join_parallel")
 
@@ -209,7 +216,7 @@ if __name__ == "__main__":
         # CI-enforced floors.  Byte-equivalence at 2 workers was already
         # asserted inside the sweep; the scaling floor needs real cores.
         for row in report["disk_cache"]:
-            assert row["speedup"] >= 1.05, (
+            assert row["speedup"] >= _DISK_WARM_FLOOR, (
                 f"warm disk load no faster than cold build: {row}"
             )
         cores = os.cpu_count() or 1

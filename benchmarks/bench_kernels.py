@@ -40,6 +40,7 @@ from conftest import persist
 from repro.datagen.benchmarks.journals import JOURNAL_TITLES, PROFILES
 from repro.index.kernel import encode_strings
 from repro.index.kernels import get_backend
+from repro.obs.manifest import BENCH_FLOORS
 from repro.text.edit_distance import codepoints
 
 _SEED = 31
@@ -53,10 +54,12 @@ _JSON_PATH = artifact_path("kernels")
 
 # CI-enforced floors on the bit-parallel speedup over the reference DP
 # for short strings at cap <= 4.  Measured margin is ~8x; the smoke
-# floor leaves headroom for noisy runners while the full sweep must
-# record the >= 5x the kernel layer was built to deliver.
+# floor comes from the shared BENCH_FLOORS schema (headroom for noisy
+# runners) while the full sweep must record the >= 5x the kernel layer
+# was built to deliver — full bars may be stronger than the schema's,
+# never weaker.
 _FULL_FLOOR = 5.0
-_SMOKE_FLOOR = 3.0
+_SMOKE_FLOOR = BENCH_FLOORS["kernels"][0]["min"]
 
 #: Vocabulary harvested from the canonical titles, for scaling the
 #: column past the real pool without leaving the domain.

@@ -22,22 +22,32 @@ isolates what the process tier adds over micro-batching alone.
 
 Results go to ``BENCH_serve.json`` at the repository root.  Run
 directly for the full sweep, or with ``--smoke`` for a seconds-scale
-sanity run that enforces the CI floors: coalesced throughput >= 2x the
-serial baseline at 16 clients, warm-cache replay >= 10x faster than
-the cold run, and >= 2x at 4 workers vs in-process — the last only on
-hosts actually granting >= 4 cores (starved runners record the rows
-and flag them via the manifest's ``artifact_flags`` instead of
+sanity run that enforces the CI floors (values imported from the
+shared ``repro.obs.manifest.BENCH_FLOORS`` schema): coalesced
+throughput vs the serial baseline at 16 clients, warm-cache replay vs
+the cold run, and the 4-worker process tier vs in-process — the last
+only on hosts actually granting >= 4 cores (starved runners record the
+rows and flag them via the manifest's ``artifact_flags`` instead of
 failing).
+
+``--trace-dump PATH`` records every request through the structured
+tracing layer (``repro.obs.trace``) and writes the collected snapshot
+— the same payload ``GET /debug/traces`` serves — after the sweep, so
+a slow-lane CI failure leaves span-level evidence (queue wait, batch
+execute, engine decode, worker hops) next to the numbers.  Sampling
+defaults to off; committed artifacts are always recorded untraced.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import random
 import statistics
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from bench_utils import (
     artifact_path,
@@ -50,6 +60,8 @@ from conftest import persist
 from repro.core.pipeline import DTTPipeline
 from repro.model import ByteSeq2SeqModel
 from repro.model.config import DTTModelConfig
+from repro.obs.manifest import BENCH_FLOORS
+from repro.obs.trace import configure_tracing, get_tracer
 from repro.serve import RouteSpec, ServiceRouter, TransformService
 from repro.types import ExamplePair
 from repro.utils.fuzz import random_unicode_string
@@ -63,10 +75,13 @@ _N_TRIALS = 1
 # queue while the previous batch decodes), so the window only pads the
 # idle tail of a batch — and it is the floor of a warm-cache hit.
 _MAX_WAIT_MS = 2.0
-_THROUGHPUT_FLOOR_AT_16 = 2.0
-_WARM_CACHE_FLOOR = 10.0
+# Acceptance bars come from the shared schema in repro.obs.manifest so
+# this emitter, reproduce_all.py, and CI can never disagree on them.
+_FLOORS = {spec["metric"]: spec["min"] for spec in BENCH_FLOORS["serve"]}
+_THROUGHPUT_FLOOR_AT_16 = _FLOORS["speedup[clients=16]"]
+_WARM_CACHE_FLOOR = _FLOORS["warm_cache_speedup"]
 _WORKER_COUNTS = (1, 2, 4)
-_MULTIPROCESS_FLOOR_AT_4 = 2.0
+_MULTIPROCESS_FLOOR_AT_4 = _FLOORS["speedup[serve_workers=4]"]
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 .-_/"
 _JSON_PATH = artifact_path("serve")
 
@@ -117,11 +132,21 @@ def _run_clients(
     """
     latencies: list[float] = [0.0] * len(sources)
     results: list = [None] * len(sources)
+    tracer = get_tracer()
 
     def one(i: int) -> None:
+        # Root span per request, mirroring what the HTTP tier does.
+        # With sampling off (the default, and the only mode committed
+        # artifacts are recorded in) this is a single unsampled-span
+        # allocation per request — nothing downstream records.
+        span = tracer.start_trace(
+            "bench.request", attributes={"clients": clients, "index": i}
+        )
         started = time.perf_counter()
-        results[i] = service.transform([sources[i]], _EXAMPLES)
+        with tracer.activate(span):
+            results[i] = service.transform([sources[i]], _EXAMPLES)
         latencies[i] = time.perf_counter() - started
+        span.finish()
 
     started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=clients) as pool:
@@ -328,11 +353,48 @@ def test_bench_serve(results_dir):
     _assert_floors(report)
 
 
+def _configure_cli(parser: argparse.ArgumentParser) -> None:
+    """Bench-specific flags on top of the shared ``--smoke``/``--json-out``."""
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        help="head-based trace sampling in [0, 1]; defaults to 1.0 "
+        "when --trace-dump is given, else 0.0 (tracing off)",
+    )
+    parser.add_argument(
+        "--trace-dump",
+        type=Path,
+        default=None,
+        help="write the collected trace snapshot (the GET /debug/traces "
+        "payload) to this JSON path after the sweep",
+    )
+
+
+def _dump_traces(path: Path) -> None:
+    """Write the collector snapshot (the /debug/traces payload) to disk."""
+    snapshot = get_tracer().collector.snapshot()
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"[bench_serve] {snapshot['collected']} traces -> {path}")
+
+
 if __name__ == "__main__":
-    args = parse_bench_args(__doc__)
+    args = parse_bench_args(__doc__, configure=_configure_cli)
+    rate = args.trace_sample_rate
+    if rate is None:
+        rate = 1.0 if args.trace_dump is not None else 0.0
+    if not 0.0 <= rate <= 1.0:
+        raise SystemExit("--trace-sample-rate must be in [0, 1]")
+    if rate > 0.0:
+        # Room for every request in the sweep, not just the default 256.
+        configure_tracing(sample_rate=rate, capacity=4096, slowest=64)
     if args.smoke:
         report = run_serve_bench(n_requests=_SMOKE_N_REQUESTS)
         emit_report(report, _JSON_PATH, args)
+        # Dump before the floor assertions so a failing run still
+        # leaves span-level evidence for CI to archive.
+        if args.trace_dump is not None:
+            _dump_traces(args.trace_dump)
         # CI-enforced floors (the full bars are asserted by
         # ``pytest benchmarks/bench_serve.py``, which refreshes the
         # committed artifact).
@@ -340,3 +402,5 @@ if __name__ == "__main__":
     else:
         report = run_serve_bench()
         emit_report(report, _JSON_PATH, args)
+        if args.trace_dump is not None:
+            _dump_traces(args.trace_dump)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.obs.manifest import provenance
@@ -42,9 +43,16 @@ def artifact_path(name: str) -> Path:
 
 
 def parse_bench_args(
-    doc: str | None, argv: list[str] | None = None
+    doc: str | None,
+    argv: list[str] | None = None,
+    configure: Callable[[argparse.ArgumentParser], None] | None = None,
 ) -> argparse.Namespace:
-    """Parse the standard bench CLI: ``--smoke`` and ``--json-out``."""
+    """Parse the standard bench CLI: ``--smoke`` and ``--json-out``.
+
+    ``configure`` lets an emitter bolt bench-specific options onto the
+    shared parser (e.g. ``bench_serve.py``'s ``--trace-dump``) without
+    duplicating the boilerplate flags.
+    """
     parser = argparse.ArgumentParser(description=doc)
     parser.add_argument(
         "--smoke",
@@ -59,6 +67,8 @@ def parse_bench_args(
         help="write the JSON report to this path instead of the default "
         "artifact location",
     )
+    if configure is not None:
+        configure(parser)
     return parser.parse_args(argv)
 
 

@@ -36,7 +36,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The pages the docs site must always have; a rename without updating
 #: this tuple (and every inbound link) is a failure, not a drive-by.
-REQUIRED_PAGES = ("architecture.md", "http_api.md", "operations.md")
+REQUIRED_PAGES = (
+    "architecture.md",
+    "http_api.md",
+    "observability.md",
+    "operations.md",
+)
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*\S)\s*$")
@@ -134,7 +139,7 @@ def check_endpoint_coverage(root: Path = REPO_ROOT) -> list[str]:
 
 
 def check_required_pages(root: Path = REPO_ROOT) -> list[str]:
-    """The three pages the README promises must exist."""
+    """The pages the README promises must exist."""
     return [
         f"docs/{page}: required page is missing"
         for page in REQUIRED_PAGES

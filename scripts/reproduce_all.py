@@ -11,11 +11,19 @@ and self-describing flags for committed artifacts whose recorded host
 invalidates a class of claims (e.g. parallel speedups recorded on a
 single-core runner).
 
+Floor verdicts come from two independent gates: the emitter's own exit
+status and the shared :data:`repro.obs.manifest.BENCH_FLOORS` schema
+re-applied to the fresh key metrics (so the manifest names the exact
+bar that failed or was skipped on a starved host).  ``--against`` adds
+run-over-run trend history: per-metric deltas versus a previous
+manifest, recorded in the new manifest's ``trends`` block.
+
 Usage::
 
     python scripts/reproduce_all.py --smoke            # CI: seconds-scale
     python scripts/reproduce_all.py                    # full sweeps (slow)
     python scripts/reproduce_all.py --smoke --out m.json --skip-eval
+    python scripts/reproduce_all.py --smoke --against run_manifest.json
 
 Exit status is the manifest verdict: 0 when every bench ran, every
 committed artifact was found, and every floor held; 1 otherwise.  The
@@ -42,7 +50,10 @@ from repro.obs.manifest import (  # noqa: E402 - path bootstrap above
     artifact_flags,
     bench_deltas,
     build_manifest,
+    check_floors,
     key_metrics,
+    load_manifest,
+    manifest_trends,
     new_run_id,
     provenance,
     save_manifest,
@@ -62,20 +73,32 @@ def _bench_env() -> dict[str, str]:
     return env
 
 
-def run_bench(name: str, smoke: bool, report_dir: Path) -> dict:
+def run_bench(
+    name: str, smoke: bool, report_dir: Path, cores: int | None = None
+) -> dict:
     """Run one emitter subprocess; returns its manifest block.
 
     The emitter writes its fresh report to ``report_dir`` via
     ``--json-out`` (which never touches the committed artifact) and
     enforces its own smoke floors by exit status — the report is
     emitted *before* the floor assertions, so a floor regression still
-    leaves the numbers behind for the delta section.
+    leaves the numbers behind for the delta section.  On top of the
+    emitter's exit status, the :data:`~repro.obs.manifest.BENCH_FLOORS`
+    schema is re-applied here to the fresh key metrics, so the manifest
+    records *which* bar failed (or was skipped on a starved host), not
+    just that the subprocess exited non-zero.
+
+    The serve bench additionally records a full trace dump
+    (``serve_traces.json`` next to the fresh reports) so a slow-lane
+    failure leaves span-level evidence behind for CI to archive.
     """
     script = REPO_ROOT / "benchmarks" / f"bench_{name}.py"
     report_path = report_dir / f"BENCH_{name}.json"
     cmd = [sys.executable, str(script), "--json-out", str(report_path)]
     if smoke:
         cmd.append("--smoke")
+    if name == "serve":
+        cmd += ["--trace-dump", str(report_dir / "serve_traces.json")]
     print(f"[reproduce] {name}: {' '.join(cmd[1:])}", flush=True)
     proc = subprocess.run(
         cmd,
@@ -97,16 +120,19 @@ def run_bench(name: str, smoke: bool, report_dir: Path) -> dict:
         block["metrics"] = key_metrics(name, report)
         block["flags"] = artifact_flags(name, report)
         block["provenance"] = report.get("provenance")
-    if smoke:
-        detail = "smoke floors enforced by the emitter"
-    else:
-        detail = "full sweep (floors asserted by the pytest bench path)"
-    if proc.returncode != 0:
+    schema = check_floors(name, block.get("metrics") or {}, cores=cores)
+    emitter_ok = proc.returncode == 0 and report is not None
+    if not emitter_ok:
         tail = (proc.stderr or proc.stdout or "").strip().splitlines()
         detail = " | ".join(tail[-3:]) if tail else "emitter failed"
+    elif not schema["passed"]:
+        detail = f"schema floors failed: {schema['detail']}"
+    else:
+        detail = f"emitter ok; schema: {schema['detail']}"
     block["floors"] = {
-        "passed": proc.returncode == 0 and report is not None,
+        "passed": emitter_ok and schema["passed"],
         "detail": detail,
+        "schema": schema,
     }
 
     committed_path = REPO_ROOT / f"BENCH_{name}.json"
@@ -178,6 +204,22 @@ def _render_summary(manifest: dict) -> str:
             f"  eval {row['dataset']:<9s} {row['method']}: "
             f"F1 {row['f1']:.3f} over {row['tables']} tables"
         )
+    trends = manifest.get("trends")
+    if trends is not None:
+        note = "" if trends["comparable"] else " [DIFFERENT MODE]"
+        lines.append(
+            f"trends vs {trends['against_run_id']} "
+            f"({trends['against_mode']}){note}"
+        )
+        for name, block in trends["benches"].items():
+            headline = block["metrics"].get("headline")
+            if headline is None:
+                continue
+            lines.append(
+                f"  {name:<14s} headline {headline['current']:.2f}x "
+                f"was {headline['previous']:.2f}x "
+                f"(delta {headline['delta']:+.2f})"
+            )
     verdict = manifest["verdict"]
     lines.append(
         "VERDICT: PASS"
@@ -213,14 +255,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the eval-table slice",
     )
+    parser.add_argument(
+        "--against",
+        type=Path,
+        default=None,
+        help="previous manifest to trend against; the new manifest "
+        "gains a 'trends' block with per-metric run-over-run deltas "
+        "(read before --out is written, so trending against the "
+        "manifest being replaced works)",
+    )
     args = parser.parse_args(argv)
+
+    # Load the trend baseline up front: it fails fast on a schema
+    # mismatch, and --against may name the very file --out overwrites.
+    previous = (
+        load_manifest(args.against) if args.against is not None else None
+    )
 
     report_dir = args.out.with_name(args.out.name + ".reports")
     report_dir.mkdir(parents=True, exist_ok=True)
     selected = args.bench or list(GATED_BENCHES)
+    environment = provenance()
 
     benches = {
-        name: run_bench(name, smoke=args.smoke, report_dir=report_dir)
+        name: run_bench(
+            name,
+            smoke=args.smoke,
+            report_dir=report_dir,
+            cores=environment["cpu_affinity"],
+        )
         for name in selected
     }
     eval_rows: list[dict] = []
@@ -232,11 +295,13 @@ def main(argv: list[str] | None = None) -> int:
 
     manifest = build_manifest(
         run_id=new_run_id(),
-        environment=provenance(),
+        environment=environment,
         benches=benches,
         eval_rows=eval_rows,
         mode="smoke" if args.smoke else "full",
     )
+    if previous is not None:
+        manifest["trends"] = manifest_trends(manifest, previous)
     save_manifest(manifest, args.out)
     print(_render_summary(manifest))
     print(f"[reproduce] manifest written to {args.out}")

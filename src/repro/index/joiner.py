@@ -43,6 +43,7 @@ threshold.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
@@ -55,6 +56,7 @@ from repro.index.cache import IndexCache, default_index_cache
 from repro.index.kernel import encode_strings
 from repro.index.kernels import pairs_scored_snapshot
 from repro.index.qgram import QGramIndex
+from repro.obs.trace import get_tracer
 
 if TYPE_CHECKING:
     from repro.index.parallel import JoinStats, JoinWorkerPool
@@ -230,6 +232,8 @@ class IndexedJoiner(EditDistanceJoiner):
         # worker-side scoring, so a module-level import would cycle.
         from repro.index.parallel import JoinStats
 
+        tracer = get_tracer()
+        join_span = tracer.start_span("join.join_many")
         cache_hits = self.cache.hits
         cache_misses = self.cache.misses
         disk_hits = self.cache.disk_hits
@@ -239,43 +243,82 @@ class IndexedJoiner(EditDistanceJoiner):
         positions: dict[str, list[int]] = {}
         for i, probe in enumerate(probes):
             positions.setdefault(probe, []).append(i)
-        index = self._index_for(targets)
-        resolved: dict[str, tuple[str | None, int]] = {}
-        buckets: dict[int, list[str]] = {}
-        exact_matches = 0
-        empty_probes = 0
-        for probe in positions:
-            if probe == "":
-                # Abstention (footnote 2): no match, before thresholds.
-                resolved[probe] = (None, 0)
-                empty_probes += 1
-            elif index.value_id(probe) is not None:
-                resolved[probe] = self._apply_thresholds(probe, 0)
-                exact_matches += 1
-            else:
-                buckets.setdefault(len(probe), []).append(probe)
-        pending = sum(len(bucket) for bucket in buckets.values())
-        n_workers = self._resolve_workers(pending)
-        if n_workers > 1 and pending:
-            argmins, pool_stats = self._ensure_pool(n_workers).run_buckets(
-                index, buckets, targets
+        try:
+            phase_start = time.monotonic()
+            index = self._index_for(targets)
+            tracer.record_span(
+                "join.index_build",
+                join_span,
+                phase_start,
+                time.monotonic(),
+                attributes={"targets": len(targets)},
             )
-            n_workers = pool_stats.workers
-            shards = pool_stats.shards
-            shard_sizes = pool_stats.shard_sizes
-            worker_disk_hits = pool_stats.disk_hits
-            worker_disk_misses = pool_stats.disk_misses
-            worker_pairs = pool_stats.kernel_pairs
-        else:
-            n_workers = 1
-            shards = 0
-            shard_sizes = ()
-            worker_disk_hits = 0
-            worker_disk_misses = 0
-            worker_pairs = ()
-            argmins = {}
-            for length, bucket in buckets.items():
-                argmins.update(self._argmin_bucket(index, length, bucket))
+            resolved: dict[str, tuple[str | None, int]] = {}
+            buckets: dict[int, list[str]] = {}
+            exact_matches = 0
+            empty_probes = 0
+            phase_start = time.monotonic()
+            for probe in positions:
+                if probe == "":
+                    # Abstention (footnote 2): no match, before thresholds.
+                    resolved[probe] = (None, 0)
+                    empty_probes += 1
+                elif index.value_id(probe) is not None:
+                    resolved[probe] = self._apply_thresholds(probe, 0)
+                    exact_matches += 1
+                else:
+                    buckets.setdefault(len(probe), []).append(probe)
+            pending = sum(len(bucket) for bucket in buckets.values())
+            tracer.record_span(
+                "join.candidate_filter",
+                join_span,
+                phase_start,
+                time.monotonic(),
+                attributes={
+                    "unique_probes": len(positions),
+                    "exact_matches": exact_matches,
+                    "empty_probes": empty_probes,
+                    "pending": pending,
+                },
+            )
+            n_workers = self._resolve_workers(pending)
+            phase_start = time.monotonic()
+            if n_workers > 1 and pending:
+                argmins, pool_stats = self._ensure_pool(n_workers).run_buckets(
+                    index, buckets, targets
+                )
+                n_workers = pool_stats.workers
+                shards = pool_stats.shards
+                shard_sizes = pool_stats.shard_sizes
+                worker_disk_hits = pool_stats.disk_hits
+                worker_disk_misses = pool_stats.disk_misses
+                worker_pairs = pool_stats.kernel_pairs
+            else:
+                n_workers = 1
+                shards = 0
+                shard_sizes = ()
+                worker_disk_hits = 0
+                worker_disk_misses = 0
+                worker_pairs = ()
+                argmins = {}
+                for length, bucket in buckets.items():
+                    argmins.update(self._argmin_bucket(index, length, bucket))
+            tracer.record_span(
+                "join.kernel_sweep",
+                join_span,
+                phase_start,
+                time.monotonic(),
+                attributes={
+                    "buckets": len(buckets),
+                    "n_workers": n_workers,
+                    "shards": shards,
+                    "kernel_backend": self.kernel.name,
+                },
+            )
+        except BaseException as error:
+            join_span.set_error(repr(error))
+            join_span.finish()
+            raise
         for probe, (vid, distance) in argmins.items():
             resolved[probe] = self._apply_thresholds(index.values[vid], distance)
         kernel_pairs = {
@@ -307,6 +350,8 @@ class IndexedJoiner(EditDistanceJoiner):
                 )
             ),
         )
+        join_span.set_attributes(self.last_join_stats.as_dict())
+        join_span.finish()
         results: list[tuple[str | None, int]] = [(None, 0)] * len(probes)
         for probe, rows in positions.items():
             result = resolved[probe]

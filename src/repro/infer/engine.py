@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.interface import IncrementalSequenceModel, SequenceModel
 from repro.nn.functional import softmax
+from repro.obs.trace import get_tracer
 from repro.utils.rng import derive_rng
 
 _MODES = ("greedy", "sample")
@@ -158,10 +159,30 @@ class GenerationEngine:
         it safe to re-enter from multiple threads with externally
         composed batches.
         """
+        tracer = get_tracer()
         outputs: list[list[str]] = []
         stats: list[EngineStats] = []
         for model, prompts in jobs:
-            job_outputs, job_stats = self.generate_with_stats(model, prompts)
+            span = tracer.start_span("engine.decode")
+            try:
+                job_outputs, job_stats = self.generate_with_stats(
+                    model, prompts
+                )
+            except BaseException as error:
+                span.set_error(repr(error))
+                span.finish()
+                raise
+            span.set_attributes(
+                {
+                    "model": getattr(model, "name", type(model).__name__),
+                    "prompts": job_stats.prompts,
+                    "decoded_rows": job_stats.decoded_rows,
+                    "chunks": job_stats.chunks,
+                    "steps": job_stats.steps,
+                    "row_steps": job_stats.row_steps,
+                }
+            )
+            span.finish()
             outputs.append(job_outputs)
             stats.append(job_stats)
         return outputs, stats

@@ -1,17 +1,24 @@
-"""Observability: service metrics primitives and the run manifest.
+"""Observability: metrics primitives, request tracing, the run manifest.
 
-Two halves, both dependency-free:
+Three parts, all dependency-free:
 
 * :mod:`repro.obs.metrics` — thread-safe counters, gauges, and
   log-bucketed latency histograms, collected in a
   :class:`MetricsRegistry` that renders either a JSON-friendly snapshot
   (for the service's ``/v1/stats``) or the Prometheus text exposition
   format (for the scrape-friendly ``/metrics`` endpoint).
+* :mod:`repro.obs.trace` — structured request tracing: head-sampled
+  :class:`Span` trees with contextvar propagation, a bounded
+  :class:`TraceCollector` ring, and picklable span contexts so traces
+  survive the hop into pre-fork serve workers (surfaced at
+  ``GET /debug/traces``).
 * :mod:`repro.obs.manifest` — the run-manifest schema behind
   ``scripts/reproduce_all.py``: environment provenance (interpreter,
   numpy, platform, host ``cpu_count``), per-bench key-metric extraction
   from ``BENCH_*.json`` reports, delta computation against the
-  committed artifacts, and manifest build/save/load round-tripping.
+  committed artifacts, the :data:`BENCH_FLOORS` acceptance-bar schema
+  shared by CI and the bench emitters, and run-over-run trend history
+  (:func:`manifest_trends`).
 
 Every later perf claim in this repository reports through this layer:
 benches stamp their reports with :func:`~repro.obs.manifest.provenance`,
@@ -21,13 +28,16 @@ single machine-readable ledger.
 """
 
 from repro.obs.manifest import (
+    BENCH_FLOORS,
     GATED_BENCHES,
     MANIFEST_VERSION,
     artifact_flags,
     bench_deltas,
     build_manifest,
+    check_floors,
     key_metrics,
     load_manifest,
+    manifest_trends,
     new_run_id,
     provenance,
     save_manifest,
@@ -38,20 +48,43 @@ from repro.obs.metrics import (
     LatencyHistogram,
     MetricsRegistry,
 )
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    TraceCollector,
+    Tracer,
+    configure_tracing,
+    current_context,
+    current_span,
+    get_tracer,
+    span_tree,
+)
 
 __all__ = [
+    "BENCH_FLOORS",
     "GATED_BENCHES",
     "MANIFEST_VERSION",
     "Counter",
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "TraceCollector",
+    "Tracer",
     "artifact_flags",
     "bench_deltas",
     "build_manifest",
+    "check_floors",
+    "configure_tracing",
+    "current_context",
+    "current_span",
+    "get_tracer",
     "key_metrics",
     "load_manifest",
+    "manifest_trends",
     "new_run_id",
     "provenance",
     "save_manifest",
+    "span_tree",
 ]

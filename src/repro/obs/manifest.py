@@ -52,6 +52,83 @@ GATED_BENCHES = (
     "serve",
 )
 
+#: Smoke-floor schema: the single source of truth for the CI acceptance
+#: bars, keyed by :data:`GATED_BENCHES` name.  Each spec names a
+#: :func:`key_metrics` label, the minimum acceptable value, and an
+#: optional ``min_cores`` gate — parallel-scaling floors only apply on
+#: hosts whose scheduler actually grants that many cores (starved
+#: runners record the numbers and rely on :func:`artifact_flags` for
+#: the caveat instead of failing spuriously).  Bench emitters import
+#: their ``--smoke`` assertions from here and ``reproduce_all.py``
+#: re-applies the same schema to every fresh report via
+#: :func:`check_floors`, so the bars cannot drift apart.  Full-sweep
+#: pytest paths may assert *stronger* bars on top; they must never be
+#: weaker than these.
+BENCH_FLOORS: dict[str, tuple[dict, ...]] = {
+    "generate": ({"metric": "headline", "min": 1.5},),
+    "join_batch": ({"metric": "headline", "min": 1.1},),
+    "join_scaling": ({"metric": "headline", "min": 1.0},),
+    "join_topk": ({"metric": "headline", "min": 1.2},),
+    "kernels": ({"metric": "headline", "min": 3.0},),
+    "join_parallel": (
+        {"metric": "speedup[workers=4]", "min": 1.3, "min_cores": 4},
+        {"metric": "disk_warm_speedup", "min": 1.05},
+    ),
+    "serve": (
+        {"metric": "speedup[clients=16]", "min": 2.0},
+        {"metric": "warm_cache_speedup", "min": 10.0},
+        {"metric": "speedup[serve_workers=4]", "min": 2.0, "min_cores": 4},
+    ),
+}
+
+
+def check_floors(
+    bench: str, metrics: dict[str, float], cores: int | None = None
+) -> dict:
+    """Apply the :data:`BENCH_FLOORS` schema to one bench's key metrics.
+
+    Returns ``{"passed", "detail", "checked", "skipped"}``.  A floor
+    whose ``min_cores`` exceeds ``cores`` (or whose metric is absent
+    from the report — e.g. a sweep shape that omitted the labeled row)
+    is *skipped*, not failed: the schema encodes acceptance bars, and a
+    bar you could not measure is a hole to report, not a regression.
+    ``passed`` is ``True`` iff every floor that could be checked held.
+    """
+    checked: list[str] = []
+    skipped: list[str] = []
+    failures: list[str] = []
+    for spec in BENCH_FLOORS.get(bench, ()):
+        metric = spec["metric"]
+        min_cores = spec.get("min_cores")
+        if min_cores is not None and (cores is None or cores < min_cores):
+            skipped.append(
+                f"{metric}: needs >= {min_cores} cores "
+                f"(host grants {cores})"
+            )
+            continue
+        value = metrics.get(metric)
+        if value is None:
+            skipped.append(f"{metric}: absent from report")
+            continue
+        if value < spec["min"]:
+            failures.append(
+                f"{metric} {value:.2f} < floor {spec['min']}"
+            )
+        else:
+            checked.append(f"{metric} {value:.2f} >= {spec['min']}")
+    if failures:
+        detail = "; ".join(failures)
+    else:
+        detail = f"{len(checked)} floors held, {len(skipped)} skipped"
+        if skipped:
+            detail += f" ({'; '.join(skipped)})"
+    return {
+        "passed": not failures,
+        "detail": detail,
+        "checked": checked,
+        "skipped": skipped,
+    }
+
 
 def provenance() -> dict:
     """Environment/host provenance stamped into reports and manifests.
@@ -187,6 +264,49 @@ def bench_deltas(
         "metrics": deltas,
         "only_current": sorted(current.keys() - committed.keys()),
         "only_committed": sorted(committed.keys() - current.keys()),
+    }
+
+
+def manifest_trends(current: dict, previous: dict) -> dict:
+    """Per-bench metric deltas between two runs' *fresh* measurements.
+
+    Where :func:`bench_deltas` compares a fresh run against the
+    committed artifacts (drift vs the recorded trajectory), this
+    compares two manifests against each other — run-over-run trend
+    history, e.g. today's CI run against yesterday's.  ``comparable``
+    flags whether the two runs used the same mode (``smoke`` vs
+    ``full``); cross-mode deltas compare different sweep scales and
+    should be read as shape changes, not regressions.
+    """
+    current_benches = current.get("benches") or {}
+    previous_benches = previous.get("benches") or {}
+    benches: dict[str, dict] = {}
+    for name in GATED_BENCHES:
+        cur = (current_benches.get(name) or {}).get("metrics") or {}
+        prev = (previous_benches.get(name) or {}).get("metrics") or {}
+        if not cur and not prev:
+            continue
+        raw = bench_deltas(cur, prev)
+        benches[name] = {
+            # bench_deltas names its older side "committed"; in a
+            # run-over-run trend that side is the previous manifest.
+            "metrics": {
+                key: {
+                    "current": row["current"],
+                    "previous": row["committed"],
+                    "delta": row["delta"],
+                    "ratio": row["ratio"],
+                }
+                for key, row in raw["metrics"].items()
+            },
+            "only_current": raw["only_current"],
+            "only_previous": raw["only_committed"],
+        }
+    return {
+        "against_run_id": previous.get("run_id"),
+        "against_mode": previous.get("mode"),
+        "comparable": current.get("mode") == previous.get("mode"),
+        "benches": benches,
     }
 
 

@@ -286,17 +286,35 @@ def merge_labeled_snapshots(
     ``_count`` series, ``le`` last), a ``_total`` name is a counter,
     anything else a gauge — the same conventions
     :meth:`MetricsRegistry.render_text` emits.
+
+    An empty input renders an empty page (no trailing newline — there
+    are no samples to terminate).  Histogram samples sharing one metric
+    name must agree on bucket boundaries: merging snapshots whose
+    bounds differ would produce a series Prometheus silently
+    mis-aggregates, so that raises :class:`ValueError` instead.
     """
     # name -> list of (labels, payload), first-seen name order.
     by_name: dict[str, list[tuple[dict[str, str], object]]] = {}
     for labels, snapshot in labeled:
         for name, payload in snapshot.items():
             by_name.setdefault(name, []).append((labels, payload))
+    if not by_name:
+        return ""
     lines: list[str] = []
     for name, samples in by_name.items():
         is_histogram = isinstance(samples[0][1], dict)
         if is_histogram:
             kind = "histogram"
+            bounds = [
+                tuple(bucket["le"] for bucket in payload["buckets"])
+                for _, payload in samples
+                if isinstance(payload, dict)
+            ]
+            if any(b != bounds[0] for b in bounds[1:]):
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bucket "
+                    f"boundaries across sources; refusing to merge"
+                )
         elif name.endswith("_total"):
             kind = "counter"
         else:
@@ -333,13 +351,37 @@ class MetricsRegistry:
 
     Creation methods are idempotent per name (asking twice returns the
     same object), so instrumentation sites can be written without
-    coordinating construction order.
+    coordinating construction order.  Each method accepts a per-metric
+    ``prefix`` override (``None`` means the registry default) so one
+    registry can host series from several subsystems — the serving
+    registry carries ``serve_*`` alongside unprefixed ``engine_*`` and
+    ``join_*`` names.
+
+    Callback-backed metrics are rendered defensively: a callback that
+    raises degrades *that one series* (skipped from the page, with the
+    always-present ``obs_callback_errors_total`` counter incremented)
+    instead of failing the whole scrape.
     """
 
     def __init__(self, prefix: str = "") -> None:
         self.prefix = prefix
         self._metrics: dict[str, Counter | Gauge | LatencyHistogram] = {}
         self._lock = threading.Lock()
+        self.callback_errors = self._register(
+            Counter(
+                "obs_callback_errors_total",
+                "Metric callbacks that raised during a read "
+                "(each skips its series for that scrape)",
+            )
+        )
+
+    def _read_value(self, metric: Counter | Gauge):
+        """``metric.value`` or ``None`` if its callback raised."""
+        try:
+            return metric.value
+        except Exception:
+            self.callback_errors.inc()
+            return None
 
     def _register(self, metric):
         with self._lock:
@@ -354,34 +396,50 @@ class MetricsRegistry:
             self._metrics[metric.name] = metric
             return metric
 
+    def _full_name(self, name: str, prefix: str | None) -> str:
+        return (self.prefix if prefix is None else prefix) + name
+
     def counter(
         self,
         name: str,
         help: str = "",
         fn: Callable[[], int] | None = None,
+        prefix: str | None = None,
     ) -> Counter:
-        return self._register(Counter(self.prefix + name, help, fn=fn))
+        return self._register(
+            Counter(self._full_name(name, prefix), help, fn=fn)
+        )
 
     def gauge(
         self,
         name: str,
         help: str = "",
         fn: Callable[[], float] | None = None,
+        prefix: str | None = None,
     ) -> Gauge:
-        return self._register(Gauge(self.prefix + name, help, fn=fn))
+        return self._register(
+            Gauge(self._full_name(name, prefix), help, fn=fn)
+        )
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        prefix: str | None = None,
     ) -> LatencyHistogram:
         return self._register(
-            LatencyHistogram(self.prefix + name, help, buckets=buckets)
+            LatencyHistogram(
+                self._full_name(name, prefix), help, buckets=buckets
+            )
         )
 
     def snapshot(self) -> dict:
-        """JSON-friendly snapshot of every metric, keyed by name."""
+        """JSON-friendly snapshot of every metric, keyed by name.
+
+        A callback-backed metric whose callback raises is omitted from
+        the snapshot (and counted in ``obs_callback_errors_total``).
+        """
         with self._lock:
             metrics = list(self._metrics.values())
         out: dict[str, object] = {}
@@ -389,24 +447,34 @@ class MetricsRegistry:
             if isinstance(metric, LatencyHistogram):
                 out[metric.name] = metric.snapshot()
             else:
-                out[metric.name] = metric.value
+                value = self._read_value(metric)
+                if value is not None:
+                    out[metric.name] = value
         return out
 
     def render_text(self) -> str:
-        """The Prometheus text exposition format (version 0.0.4)."""
+        """The Prometheus text exposition format (version 0.0.4).
+
+        A callback-backed metric whose callback raises is skipped for
+        this scrape (and counted in ``obs_callback_errors_total``); the
+        rest of the page renders normally.
+        """
         with self._lock:
             metrics = list(self._metrics.values())
         lines: list[str] = []
         for metric in metrics:
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            if isinstance(metric, Counter):
-                lines.append(f"# TYPE {metric.name} counter")
-                lines.append(f"{metric.name} {_format_number(metric.value)}")
-            elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {metric.name} gauge")
-                lines.append(f"{metric.name} {_format_number(metric.value)}")
+            if isinstance(metric, (Counter, Gauge)):
+                value = self._read_value(metric)
+                if value is None:
+                    continue
+                kind = "counter" if isinstance(metric, Counter) else "gauge"
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {kind}")
+                lines.append(f"{metric.name} {_format_number(value)}")
             else:
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
                 snap = metric.snapshot()
                 lines.append(f"# TYPE {metric.name} histogram")
                 for bucket in snap["buckets"]:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import functools
 
+from repro.obs.trace import configure_tracing
 from repro.serve.cache import JoinResultCache, ResultCache
 from repro.serve.http import serve_http
 from repro.serve.router import RouteSpec, ServiceRouter, build_pipeline
@@ -173,10 +174,27 @@ def main(argv: list[str] | None = None) -> None:
         help="socket timeout per connection; a client stalling mid-body "
         "gets HTTP 408",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="head-based trace sampling probability in [0, 1]; 0 "
+        "records only errored requests' roots, 1 records every "
+        "request (see GET /debug/traces)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one structured JSON access-log line per request "
+        "(method, path, route, status, duration_ms, trace_id)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     if args.route is not None and len(set(args.route)) != len(args.route):
         parser.error("duplicate --route values")
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        parser.error("--trace-sample-rate must be in [0, 1]")
+    configure_tracing(sample_rate=args.trace_sample_rate)
     if args.serve_workers == 0 and args.route is None:
         backend: TransformService | ServiceRouter = build_service(args)
     else:
@@ -188,6 +206,7 @@ def main(argv: list[str] | None = None) -> None:
         verbose=not args.quiet,
         max_request_bytes=args.max_request_bytes,
         request_timeout_s=args.request_timeout_s,
+        log_json=args.log_json,
     )
 
 

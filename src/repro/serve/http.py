@@ -34,7 +34,21 @@ Endpoints (all bodies JSON; successful responses carry
   block with the latency/occupancy histograms and live gauges.
 * ``GET /metrics`` — the same metrics in the Prometheus text
   exposition format (scrape-friendly plain text).
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — liveness: the process is up and the backend is
+  not shut down.
+* ``GET /readyz`` — readiness: worker pool fully up, every route
+  resolvable, restart count (503 with the same body when not ready).
+* ``GET /debug/traces`` — recent + slowest-N traces from the tracing
+  subsystem (see :mod:`repro.obs.trace`; ``?limit=`` bounds both
+  lists).
+
+Every ``POST /v1/*`` request runs under a root span whose id is
+returned in the ``X-Repro-Trace-Id`` response header; with
+``--trace-sample-rate`` > 0 the whole span tree (queue wait, batch
+execution, engine decode, join phases — across worker processes) lands
+in ``/debug/traces``.  With ``log_json`` enabled the server emits one
+structured access-log line per request (method, path, route, status,
+duration_ms, trace_id) for log↔trace correlation.
 
 Every error body is structured: ``{"error": {"code", "detail",
 "field"?}}`` — ``code`` is a stable machine-readable slug, ``field``
@@ -54,6 +68,8 @@ balloon memory nor pin a handler thread forever.
 from __future__ import annotations
 
 import json
+import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -66,6 +82,7 @@ from repro.exceptions import (
     UnknownModelError,
     WorkerCrashedError,
 )
+from repro.obs.trace import Span, get_tracer
 from repro.serve.router import ServiceRouter
 from repro.serve.service import TransformService
 from repro.types import ExamplePair
@@ -86,6 +103,8 @@ PUBLIC_ENDPOINTS = (
     "/v1/stats",
     "/metrics",
     "/healthz",
+    "/readyz",
+    "/debug/traces",
 )
 
 _TRANSFORM_FIELDS = frozenset({"sources", "examples", "timeout_s", "model"})
@@ -254,6 +273,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     server: TransformServiceServer
     protocol_version = "HTTP/1.1"
 
+    #: Per-request state (reset at the top of each do_GET/do_POST; one
+    #: handler serves many requests over a keep-alive connection).
+    _root_span: Span | None = None
+    _last_status: int | None = None
+    _log_route: str | None = None
+
     # -- plumbing ---------------------------------------------------------
 
     def setup(self) -> None:
@@ -272,20 +297,49 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(self, status: int, payload: dict) -> None:
+        self._last_status = status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._root_span is not None:
+            self.send_header("X-Repro-Trace-Id", self._root_span.trace_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_text(self, status: int, body: str, content_type: str) -> None:
+        self._last_status = status
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if self._root_span is not None:
+            self.send_header("X-Repro-Trace-Id", self._root_span.trace_id)
         self.end_headers()
         self.wfile.write(data)
+
+    def _access_log(self, method: str, path: str, started: float) -> None:
+        """One structured JSON access-log line (``log_json`` mode only)."""
+        if not self.server.log_json:
+            return
+        record = {
+            "method": method,
+            "path": path,
+            "route": self._log_route,
+            "status": self._last_status,
+            "duration_ms": round((time.monotonic() - started) * 1000.0, 3),
+            "trace_id": (
+                self._root_span.trace_id
+                if self._root_span is not None
+                else None
+            ),
+        }
+        try:
+            stream = self.server.log_stream
+            stream.write(json.dumps(record) + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed log stream must never fail the request
 
     def _read_json(self) -> dict:
         raw_length = self.headers.get("Content-Length")
@@ -330,36 +384,113 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server's contract
         """Serve the read-only endpoints: models, stats, metrics, health."""
-        path = urlsplit(self.path).path
-        router = self.server.router
-        if path == "/healthz":
-            self._send_json(200, {"ok": not router.closed})
-        elif path == "/v1/models":
-            self._send_json(
-                200,
-                {
-                    "schema_version": SCHEMA_VERSION,
-                    "models": router.models(),
-                    "n_workers": router.n_workers,
-                },
-            )
-        elif path == "/v1/stats":
-            self._send_json(200, router.stats())
-        elif path == "/metrics":
-            self._send_text(
-                200,
-                router.metrics_text(),
-                "text/plain; version=0.0.4; charset=utf-8",
-            )
-        else:
-            self._send_json(
-                404, _error_body("not_found", f"unknown path {self.path!r}")
-            )
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server's contract
-        """Dispatch transform/join requests, mapping errors to the table."""
+        self._root_span = None
+        self._last_status = None
+        self._log_route = None
+        started = time.monotonic()
         try:
             split = urlsplit(self.path)
+            path = split.path
+            router = self.server.router
+            if path == "/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "schema_version": SCHEMA_VERSION,
+                        "ok": not router.closed,
+                    },
+                )
+            elif path == "/readyz":
+                readiness = router.readiness()
+                self._send_json(
+                    200 if readiness["ready"] else 503,
+                    {"schema_version": SCHEMA_VERSION, **readiness},
+                )
+            elif path == "/debug/traces":
+                self._handle_debug_traces(parse_qs(split.query))
+            elif path == "/v1/models":
+                self._send_json(
+                    200,
+                    {
+                        "schema_version": SCHEMA_VERSION,
+                        "models": router.models(),
+                        "n_workers": router.n_workers,
+                    },
+                )
+            elif path == "/v1/stats":
+                self._send_json(200, router.stats())
+            elif path == "/metrics":
+                self._send_text(
+                    200,
+                    router.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(
+                    404,
+                    _error_body("not_found", f"unknown path {self.path!r}"),
+                )
+        finally:
+            self._access_log("GET", urlsplit(self.path).path, started)
+
+    def _handle_debug_traces(self, query: dict[str, list[str]]) -> None:
+        """Serve the trace collector's recent + slowest-N snapshot."""
+        raw_limit = query.get("limit", [None])[-1]
+        limit: int | None = None
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                limit = None
+            if limit is None or limit < 0:
+                self._send_json(
+                    400,
+                    _error_body(
+                        "invalid_value",
+                        f"'limit' must be an integer >= 0, got {raw_limit!r}",
+                        field="limit",
+                    ),
+                )
+                return
+        self._send_json(200, get_tracer().collector.snapshot(limit))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server's contract
+        """Dispatch transform/join requests, mapping errors to the table.
+
+        Every POST runs under a fresh root span: its trace id rides the
+        ``X-Repro-Trace-Id`` response header, and a 5xx outcome marks
+        the span errored — which commits the trace even when sampling
+        left it unrecorded.
+        """
+        split = urlsplit(self.path)
+        tracer = get_tracer()
+        span = tracer.start_trace(f"POST {split.path}")
+        self._root_span = span
+        self._last_status = None
+        self._log_route = None
+        started = time.monotonic()
+        try:
+            with tracer.activate(span):
+                self._dispatch_post(split)
+        finally:
+            status = self._last_status
+            span.set_attributes(
+                {
+                    "method": "POST",
+                    "path": split.path,
+                    "status": status,
+                    "route": self._log_route,
+                }
+            )
+            if status is not None and status >= 500:
+                span.set_error(f"status {status}")
+            span.finish()
+            self._access_log("POST", split.path, started)
+            self._root_span = None
+
+    def _dispatch_post(self, split) -> None:
+        """The POST body: parse, route, and map errors to statuses."""
+        try:
             query = parse_qs(split.query)
             payload = self._read_json()
             if split.path == "/v1/transform":
@@ -416,11 +547,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self, payload: dict, query: dict[str, list[str]]
     ) -> None:
         _check_fields(payload, _TRANSFORM_FIELDS)
-        predictions = self.server.router.transform(
+        router = self.server.router
+        route = router.resolve(_model_selector(payload, query))
+        self._log_route = route
+        predictions = router.transform(
             _string_list(payload, "sources"),
             _example_pairs(payload),
             timeout=_timeout(payload),
-            model=_model_selector(payload, query),
+            model=route,
         )
         self._send_json(
             200,
@@ -437,7 +571,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         mode = _join_mode(payload)
         sources = _string_list(payload, "sources")
         targets = _string_list(payload, "targets")
-        results = self.server.router.join(
+        router = self.server.router
+        route = router.resolve(_model_selector(payload, query))
+        self._log_route = route
+        results = router.join(
             sources,
             targets,
             _example_pairs(payload),
@@ -445,7 +582,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             mode=mode,
             k=_join_k(payload),
             margin=_join_margin(payload),
-            model=_model_selector(payload, query),
+            model=route,
         )
         body: dict = {"schema_version": SCHEMA_VERSION, "mode": mode}
         if mode == "reverse":
@@ -484,6 +621,10 @@ class TransformServiceServer(ThreadingHTTPServer):
             refused with 413 before any body byte is read.
         request_timeout_s: Socket timeout applied to every handler
             connection — bounds body reads and idle keep-alives alike.
+        log_json: Emit one structured JSON access-log line per request
+            (method, path, route, status, duration_ms, trace_id).
+        log_stream: Destination for the JSON access log (default
+            ``sys.stderr``); anything with ``write``/``flush`` works.
     """
 
     daemon_threads = True
@@ -495,6 +636,8 @@ class TransformServiceServer(ThreadingHTTPServer):
         verbose: bool = False,
         max_request_bytes: int = _MAX_BODY_BYTES,
         request_timeout_s: float = _READ_TIMEOUT_S,
+        log_json: bool = False,
+        log_stream=None,
     ) -> None:
         if max_request_bytes < 1:
             raise ValueError(
@@ -517,6 +660,8 @@ class TransformServiceServer(ThreadingHTTPServer):
         self.verbose = verbose
         self.max_request_bytes = max_request_bytes
         self.request_timeout_s = request_timeout_s
+        self.log_json = log_json
+        self.log_stream = log_stream if log_stream is not None else sys.stderr
 
 
 def start_http_server(
@@ -526,6 +671,8 @@ def start_http_server(
     verbose: bool = False,
     max_request_bytes: int = _MAX_BODY_BYTES,
     request_timeout_s: float = _READ_TIMEOUT_S,
+    log_json: bool = False,
+    log_stream=None,
 ) -> TransformServiceServer:
     """Bind and return a server (port 0 picks a free one); not yet serving.
 
@@ -539,6 +686,8 @@ def start_http_server(
         verbose=verbose,
         max_request_bytes=max_request_bytes,
         request_timeout_s=request_timeout_s,
+        log_json=log_json,
+        log_stream=log_stream,
     )
 
 
@@ -549,6 +698,8 @@ def serve_http(
     verbose: bool = True,
     max_request_bytes: int = _MAX_BODY_BYTES,
     request_timeout_s: float = _READ_TIMEOUT_S,
+    log_json: bool = False,
+    log_stream=None,
 ) -> None:
     """Serve in the foreground until interrupted, then shut down cleanly."""
     server = start_http_server(
@@ -558,6 +709,8 @@ def serve_http(
         verbose=verbose,
         max_request_bytes=max_request_bytes,
         request_timeout_s=request_timeout_s,
+        log_json=log_json,
+        log_stream=log_stream,
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"serving on http://{bound_host}:{bound_port} (Ctrl-C to stop)")

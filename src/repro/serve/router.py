@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.core.pipeline import DTTPipeline
 from repro.exceptions import JoinError, UnknownModelError
 from repro.obs.metrics import merge_labeled_snapshots
+from repro.obs.trace import current_context
 from repro.serve.cache import (
     JoinResultCache,
     ResultCache,
@@ -295,7 +296,13 @@ class ServiceRouter:
             return list(cached)
         result = self._pool.submit(
             "transform",
-            (route.spec.name, tuple(sources), tuple(examples), timeout),
+            (
+                route.spec.name,
+                tuple(sources),
+                tuple(examples),
+                timeout,
+                current_context(),
+            ),
         ).result()
         route.transform_cache.put(key, result)
         return result
@@ -358,6 +365,7 @@ class ServiceRouter:
                 mode,
                 k,
                 margin,
+                current_context(),
             ),
         ).result()
         if mode == "reverse":
@@ -459,6 +467,40 @@ class ServiceRouter:
                     if handle.alive and handle.process.pid is not None
                 ),
             },
+        }
+
+    def readiness(self) -> dict:
+        """The ``GET /readyz`` body: can this router serve traffic now?
+
+        ``ready`` requires the router to be open, every route's
+        fingerprint to resolve, and (in pool mode) every worker slot to
+        hold a live process.  The body also reports the worker topology
+        — count, live workers, respawns so far — so an orchestrator's
+        readiness probe doubles as a restart-loop detector.
+        """
+        routes_ok = all(
+            self.resolve(name) == name for name in self._routes
+        )
+        if self._pool is not None:
+            workers = self._pool.workers
+            alive = sum(1 for handle in workers if handle.alive)
+            workers_block = {
+                "n_workers": self._pool.n_workers,
+                "alive": alive,
+                "restarts": self._pool.restarts,
+            }
+            ready = (
+                not self.closed
+                and routes_ok
+                and alive == self._pool.n_workers
+            )
+        else:
+            workers_block = {"n_workers": 0, "alive": 0, "restarts": 0}
+            ready = not self.closed and routes_ok
+        return {
+            "ready": ready,
+            "routes": sorted(self._routes),
+            "workers": workers_block,
         }
 
     def metrics_text(self) -> str:

@@ -73,6 +73,13 @@ from repro.obs.metrics import (
     DEFAULT_OCCUPANCY_BUCKETS,
     MetricsRegistry,
 )
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    current_context,
+    get_tracer,
+)
 from repro.serve.cache import (
     JoinResultCache,
     ResultCache,
@@ -114,7 +121,10 @@ class ServeStats:
         join_cache_entries: Join results currently cached.
         engine_prompts: Prompts handed to the generation engine.
         engine_decoded_rows: Unique rows the engine actually decoded.
+        engine_chunks: Decode micro-batches the engine scheduled.
         engine_steps: Decode steps across all micro-batches.
+        engine_row_steps: Per-row decode operations actually paid
+            (compaction makes this less than rows x steps).
     """
 
     requests: int = 0
@@ -139,7 +149,9 @@ class ServeStats:
     join_cache_entries: int = 0
     engine_prompts: int = 0
     engine_decoded_rows: int = 0
+    engine_chunks: int = 0
     engine_steps: int = 0
+    engine_row_steps: int = 0
 
     def as_dict(self) -> dict:
         """JSON-friendly dict form."""
@@ -163,7 +175,9 @@ class _Counters:
     failed: int = 0
     engine_prompts: int = 0
     engine_decoded_rows: int = 0
+    engine_chunks: int = 0
     engine_steps: int = 0
+    engine_row_steps: int = 0
 
 
 class _Request:
@@ -180,6 +194,8 @@ class _Request:
         "future",
         "deadline",
         "submitted_at",
+        "trace_ctx",
+        "span",
     )
 
     def __init__(
@@ -193,6 +209,7 @@ class _Request:
         mode: str = "argmin",
         k: int = 1,
         margin: float | None = None,
+        trace_ctx: SpanContext | None = None,
     ) -> None:
         self.kind = kind
         self.sources = sources
@@ -204,6 +221,13 @@ class _Request:
         self.future: Future = Future()
         self.deadline = deadline
         self.submitted_at = submitted_at
+        #: Sampled trace context captured at submit time (``None`` when
+        #: tracing is off — every span call then short-circuits).
+        self.trace_ctx = trace_ctx
+        #: The live ``serve.batch_execute`` span while this request is
+        #: executing; finished right before its future resolves so
+        #: cross-process span fan-in never races the reply.
+        self.span: Span | None = None
 
 
 class _Plan:
@@ -311,6 +335,16 @@ class TransformService:
         #: Cumulative candidate pairs scored per kernel backend across
         #: every join this service has executed (scheduler thread only).
         self._join_kernel_pairs: dict[str, int] = {}
+        #: Cumulative JoinStats counters across every executed join —
+        #: the source behind the unprefixed ``join_*`` metric series.
+        self._join_totals: dict[str, int] = {
+            "calls": 0,
+            "probes": 0,
+            "unique_probes": 0,
+            "exact_matches": 0,
+            "empty_probes": 0,
+            "pending": 0,
+        }
         self._counters = _Counters()
         self._queue: deque[_Request] = deque()
         self.metrics = self._build_metrics()
@@ -402,7 +436,9 @@ class TransformService:
             "failed",
             "engine_prompts",
             "engine_decoded_rows",
+            "engine_chunks",
             "engine_steps",
+            "engine_row_steps",
         ):
             registry.counter(
                 f"{field}_total",
@@ -417,6 +453,47 @@ class TransformService:
                 f"candidate pairs scored by the {backend} "
                 "edit-distance kernel across all joins",
                 fn=lambda b=backend: self._join_kernel_pairs.get(b, 0),
+            )
+        # Unprefixed engine_* / join_* series (ROADMAP item 5): the
+        # EngineStats and JoinStats counters under their own metric
+        # namespaces, merged with the same per-worker/per-route labels
+        # as the serve_* series by the router's scrape endpoint.
+        for field in (
+            "prompts",
+            "decoded_rows",
+            "chunks",
+            "steps",
+            "row_steps",
+        ):
+            registry.counter(
+                f"engine_{field}_total",
+                f"see EngineStats.{field} (cumulative across batches)",
+                fn=lambda f=f"engine_{field}": getattr(self._counters, f),
+                prefix="",
+            )
+        for field in (
+            "calls",
+            "probes",
+            "unique_probes",
+            "exact_matches",
+            "empty_probes",
+            "pending",
+        ):
+            registry.counter(
+                f"join_{field}_total",
+                f"see JoinStats.{field} (cumulative across joins)",
+                fn=lambda f=field: self._join_totals[f],
+                prefix="",
+            )
+        for backend in KERNEL_BACKENDS:
+            if backend == "auto":
+                continue
+            registry.counter(
+                f"join_kernel_pairs_{backend}_total",
+                f"candidate pairs scored by the {backend} "
+                "edit-distance kernel across all joins",
+                fn=lambda b=backend: self._join_kernel_pairs.get(b, 0),
+                prefix="",
             )
         return registry
 
@@ -537,6 +614,7 @@ class TransformService:
             mode=mode,
             k=k,
             margin=margin,
+            trace_ctx=current_context(),
         )
         with self._cond:
             if self._closing:
@@ -598,12 +676,21 @@ class TransformService:
 
     def _execute(self, batch: list[_Request]) -> None:
         ready: list[_Request] = []
+        tracer = get_tracer()
         now = self._clock()
         for request in batch:
             if not request.future.set_running_or_notify_cancel():
                 self._counters.cancelled += 1
                 continue
             if request.deadline is not None and now > request.deadline:
+                tracer.record_span(
+                    "serve.queue_wait",
+                    request.trace_ctx,
+                    request.submitted_at,
+                    now,
+                    attributes={"deadline_expired": True},
+                    status="error",
+                )
                 request.future.set_exception(
                     DeadlineExceededError(
                         "deadline expired before the batch started"
@@ -618,6 +705,13 @@ class TransformService:
         self._counters.batched_requests += len(ready)
         for request in ready:
             self._queue_wait.observe(now - request.submitted_at)
+            tracer.record_span(
+                "serve.queue_wait",
+                request.trace_ctx,
+                request.submitted_at,
+                now,
+                attributes={"batch_requests": len(ready)},
+            )
         self._batch_requests.observe(len(ready))
         self._batch_rows.observe(
             sum(len(request.sources) for request in ready)
@@ -628,6 +722,7 @@ class TransformService:
             for request in ready:
                 if not request.future.done():
                     self._counters.failed += 1
+                    self._finish_request_span(request, "error", repr(error))
                     request.future.set_exception(error)
         finally:
             done = self._clock()
@@ -635,24 +730,66 @@ class TransformService:
             for request in ready:
                 self._request_latency.observe(done - request.submitted_at)
 
+    def _finish_request_span(
+        self, request: _Request, status: str = "ok", detail: str = ""
+    ) -> None:
+        """Close a request's execution span before its future resolves.
+
+        Resolving the future can synchronously trigger the worker-side
+        reply path (which drains finished spans into the reply), so the
+        span must already be finished here — never after ``set_result``.
+        """
+        span = request.span
+        if span is None:
+            return
+        request.span = None
+        if status == "error":
+            span.set_error(detail)
+        span.finish()
+
     def _execute_ready(self, ready: list[_Request]) -> None:
         """One coalesced pass over every survivable request."""
+        tracer = get_tracer()
         plans: list[_Plan] = []
         for request in ready:
             plan = _Plan(request)
+            span = tracer.start_span(
+                "serve.batch_execute",
+                parent=request.trace_ctx,
+                attributes={
+                    "kind": request.kind,
+                    "rows": len(request.sources),
+                },
+            )
+            request.span = span if isinstance(span, Span) else None
             try:
                 if self._serve_join_from_cache(plan):
                     continue
                 self._resolve_cache_and_prompts(plan)
             except Exception as error:  # per-request isolation
                 self._counters.failed += 1
+                self._finish_request_span(request, "error", repr(error))
                 request.future.set_exception(error)
                 continue
             plans.append(plan)
         if not plans:
             return
-        self._generate(plans)
-        self._deliver(plans)
+        # The engine pass and the coalesced joins run once for the whole
+        # batch, so their spans parent under ONE request's span — the
+        # first traced one; every other traced request's span records
+        # the primary's trace id instead (the span-link pattern).
+        primary = next(
+            (p.request.span for p in plans if p.request.span is not None),
+            None,
+        )
+        if primary is not None:
+            for plan in plans:
+                span = plan.request.span
+                if span is not None and span is not primary:
+                    span.set_attribute("batch_primary_trace_id", primary.trace_id)
+        with tracer.activate(primary if primary is not None else NULL_SPAN):
+            self._generate(plans)
+            self._deliver(plans)
 
     def _serve_join_from_cache(self, plan: _Plan) -> bool:
         """Resolve a join request from the join-result cache tier.
@@ -680,6 +817,9 @@ class TransformService:
         cached = self.join_cache.get(plan.join_key)
         if cached is None:
             return False
+        if request.span is not None:
+            request.span.set_attribute("join_cache_hit", True)
+        self._finish_request_span(request)
         if request.mode == "reverse":
             # Stored as immutable row tuples; callers get fresh lists.
             request.future.set_result([list(group) for group in cached])
@@ -760,7 +900,9 @@ class TransformService:
         self.last_engine_stats = merged
         self._counters.engine_prompts += merged.prompts
         self._counters.engine_decoded_rows += merged.decoded_rows
+        self._counters.engine_chunks += merged.chunks
         self._counters.engine_steps += merged.steps
+        self._counters.engine_row_steps += merged.row_steps
         for i, plan in enumerate(active):
             # Rebuild per-prompt candidate lists in model order, the
             # exact shape MultiModelAggregator.generate_candidates
@@ -801,6 +943,7 @@ class TransformService:
                 assert plan.cache_keys is not None
                 self.result_cache.put(plan.cache_keys[0], predictions)
             if request.kind == "transform":
+                self._finish_request_span(request)
                 request.future.set_result(list(predictions))
             else:
                 assert request.targets is not None
@@ -834,6 +977,17 @@ class TransformService:
                     self._join_kernel_pairs[name] = (
                         self._join_kernel_pairs.get(name, 0) + count
                     )
+                self._join_totals["calls"] += 1
+                for field in (
+                    "probes",
+                    "unique_probes",
+                    "exact_matches",
+                    "empty_probes",
+                    "pending",
+                ):
+                    self._join_totals[field] += getattr(
+                        self.last_join_stats, field
+                    )
             offset = 0
             for plan in group:
                 request = plan.request
@@ -846,10 +1000,12 @@ class TransformService:
                             plan.join_key,
                             (tuple(g) for g in groups),
                         )
+                    self._finish_request_span(request)
                     request.future.set_result(groups)
                 else:
                     if plan.join_key is not None:
                         self.join_cache.put(plan.join_key, span)
+                    self._finish_request_span(request)
                     request.future.set_result(list(span))
 
     # -- observability and lifecycle ---------------------------------------

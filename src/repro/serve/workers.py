@@ -38,10 +38,20 @@ dispatching new work.  The blast radius of a crash is one worker's
 in-flight batch, never the service.
 
 Wire protocol (parent -> worker): ``(request_id, op, payload)`` tuples
-over a duplex pipe; replies are ``(request_id, ok, result_or_error)``.
-Ops: ``"transform"`` / ``"join"`` execute on a route's service;
-``"stats"`` / ``"metrics"`` snapshot every route; ``"ping"`` checks
-liveness; ``"shutdown"`` drains and exits.
+over a duplex pipe; replies are ``(request_id, ok, result_or_error,
+spans)``.  Ops: ``"transform"`` / ``"join"`` execute on a route's
+service; ``"stats"`` / ``"metrics"`` snapshot every route; ``"ping"``
+checks liveness; ``"shutdown"`` drains and exits.
+
+**Cross-process tracing.**  Request payloads carry the parent's sampled
+:class:`~repro.obs.trace.SpanContext` (or ``None``) as their last
+element; the worker opens a ``worker.execute`` span re-parented to it,
+activates it around the service submit (so queue-wait / batch-execute /
+engine / join spans all land under it), and ships every finished span
+of the trace back in the reply's ``spans`` slot.  The parent ingests
+them into its tracer *before* resolving the dispatch future, so by the
+time the HTTP root span closes the whole tree — whichever worker ran it
+— commits as one trace.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from typing import TYPE_CHECKING
 from repro.core.pipeline import DTTPipeline
 from repro.exceptions import ServiceClosedError, WorkerCrashedError
 from repro.index.parallel import pool_context
+from repro.obs.trace import Span, get_tracer
 
 if TYPE_CHECKING:
     from repro.serve.service import TransformService
@@ -109,6 +120,10 @@ def _worker_main(
     concurrent requests through its own micro-batching — the parent
     never waits for one reply before sending the next request.
     """
+    # Under fork, this child inherits the parent tracer's RNG state;
+    # without a reseed its span ids would be identical to the parent's
+    # next draws, colliding with the request ids they parent under.
+    get_tracer().reseed()
     if pipelines is None:
         pipelines = {name: factory() for name, factory in factories.items()}
     services = {
@@ -117,26 +132,45 @@ def _worker_main(
     }
     send_lock = threading.Lock()
 
-    def reply(request_id: int, ok: bool, payload: object) -> None:
+    def reply(
+        request_id: int,
+        ok: bool,
+        payload: object,
+        spans: list[dict] | None = None,
+    ) -> None:
         """Send one framed reply; a vanished parent is not an error."""
         try:
             with send_lock:
-                conn.send((request_id, ok, payload))
+                conn.send((request_id, ok, payload, spans))
         except (BrokenPipeError, OSError):
             pass  # the parent is gone; nothing left to tell
 
-    def reply_future(request_id: int, future: Future) -> None:
-        """Relay a completed future — result or (picklable) error."""
+    def reply_future(
+        request_id: int, future: Future, span: object = None
+    ) -> None:
+        """Relay a completed future — result or (picklable) error.
+
+        ``span`` is the request's ``worker.execute`` span: it finishes
+        here (the service closed its own spans before resolving the
+        future), and every finished span of the trace drains into the
+        reply so the parent can re-assemble the tree.
+        """
         error = future.exception()
+        spans = None
+        if isinstance(span, Span):
+            if error is not None:
+                span.set_error(repr(error))
+            span.finish()
+            spans = get_tracer().drain(span.trace_id)
         if error is None:
-            reply(request_id, True, future.result())
+            reply(request_id, True, future.result(), spans)
             return
         try:
-            reply(request_id, False, error)
+            reply(request_id, False, error, spans)
         except Exception:
             # Unpicklable exception (a model bug carrying live state):
             # degrade to a picklable description, never a silent drop.
-            reply(request_id, False, RuntimeError(repr(error)))
+            reply(request_id, False, RuntimeError(repr(error)), spans)
 
     try:
         while True:
@@ -150,12 +184,25 @@ def _worker_main(
                 break
             try:
                 if op == "transform":
-                    route, sources, examples, timeout = payload
-                    future = services[route].submit_transform(
-                        sources, examples, timeout
+                    route, sources, examples, timeout, trace_ctx = payload
+                    tracer = get_tracer()
+                    span = tracer.start_span(
+                        "worker.execute",
+                        parent=trace_ctx,
+                        attributes={
+                            "route": route,
+                            "op": op,
+                            "pid": os.getpid(),
+                        },
                     )
+                    with tracer.activate(span):
+                        future = services[route].submit_transform(
+                            sources, examples, timeout
+                        )
                     future.add_done_callback(
-                        lambda f, rid=request_id: reply_future(rid, f)
+                        lambda f, rid=request_id, s=span: reply_future(
+                            rid, f, s
+                        )
                     )
                 elif op == "join":
                     (
@@ -167,18 +214,32 @@ def _worker_main(
                         mode,
                         k,
                         margin,
+                        trace_ctx,
                     ) = payload
-                    future = services[route].submit_join(
-                        sources,
-                        targets,
-                        examples,
-                        timeout,
-                        mode=mode,
-                        k=k,
-                        margin=margin,
+                    tracer = get_tracer()
+                    span = tracer.start_span(
+                        "worker.execute",
+                        parent=trace_ctx,
+                        attributes={
+                            "route": route,
+                            "op": op,
+                            "pid": os.getpid(),
+                        },
                     )
+                    with tracer.activate(span):
+                        future = services[route].submit_join(
+                            sources,
+                            targets,
+                            examples,
+                            timeout,
+                            mode=mode,
+                            k=k,
+                            margin=margin,
+                        )
                     future.add_done_callback(
-                        lambda f, rid=request_id: reply_future(rid, f)
+                        lambda f, rid=request_id, s=span: reply_future(
+                            rid, f, s
+                        )
                     )
                 elif op == "stats":
                     reply(
@@ -303,9 +364,15 @@ class WorkerHandle:
     def _read_replies(self) -> None:
         while True:
             try:
-                request_id, ok, payload = self._conn.recv()
+                request_id, ok, payload, spans = self._conn.recv()
             except (EOFError, OSError):
                 break
+            if spans:
+                # Splice worker-side spans into the parent's tracer
+                # BEFORE resolving the future: the HTTP handler closes
+                # the root span right after the future resolves, and
+                # the whole tree must be buffered by then.
+                get_tracer().ingest(spans)
             with self._lock:
                 future = self._pending.pop(request_id, None)
             if future is None:

@@ -55,6 +55,7 @@ class TestBrokenDocsAreCaught:
             "# Architecture\n\n## Real heading\n"
         )
         (tmp_path / "docs" / "http_api.md").write_text("# API\n")
+        (tmp_path / "docs" / "observability.md").write_text("# Obs\n")
         (tmp_path / "docs" / "operations.md").write_text("# Ops\n")
         (tmp_path / "BENCH_real.json").write_text("{}")
         return tmp_path

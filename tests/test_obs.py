@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.obs import (
+    BENCH_FLOORS,
     GATED_BENCHES,
     MANIFEST_VERSION,
     Counter,
@@ -23,8 +24,10 @@ from repro.obs import (
     artifact_flags,
     bench_deltas,
     build_manifest,
+    check_floors,
     key_metrics,
     load_manifest,
+    manifest_trends,
     new_run_id,
     provenance,
     save_manifest,
@@ -33,6 +36,7 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_OCCUPANCY_BUCKETS,
     log_spaced_buckets,
+    merge_labeled_snapshots,
 )
 
 
@@ -311,3 +315,174 @@ class TestBuildManifest:
         save_manifest({"manifest_version": 0}, path)
         with pytest.raises(ValueError, match="version"):
             load_manifest(path)
+
+
+class TestCallbackDegradation:
+    def test_raising_callback_degrades_one_series_not_the_scrape(self):
+        reg = MetricsRegistry(prefix="serve_")
+        reg.counter("requests_total", "handled").inc(3)
+
+        def boom() -> float:
+            raise RuntimeError("backend went away")
+
+        reg.gauge("queue_depth", "depth", fn=boom)
+        text = reg.render_text()
+        # The healthy series still renders; the broken one is skipped.
+        assert "serve_requests_total 3" in text
+        assert "serve_queue_depth" not in text
+        assert reg.callback_errors.value == 1
+        # The error counter renders before the gauge raises, so the
+        # increment from scrape N appears on scrape N+1 — standard
+        # counter-lag semantics, not a lost sample.
+        assert "obs_callback_errors_total 1" in reg.render_text()
+
+    def test_snapshot_degrades_the_same_way(self):
+        reg = MetricsRegistry()
+
+        def boom() -> int:
+            raise RuntimeError("nope")
+
+        reg.counter("broken_total", fn=boom)
+        reg.gauge("fine", "ok").set(7.0)
+        snap = reg.snapshot()
+        assert "broken_total" not in snap
+        assert snap["fine"] == 7.0
+        assert reg.callback_errors.value == 1
+
+
+class TestMergeLabeledSnapshots:
+    def test_empty_input_renders_empty_page(self):
+        assert merge_labeled_snapshots([]) == ""
+
+    def test_disjoint_metric_names_each_render_once(self):
+        merged = merge_labeled_snapshots(
+            [
+                ({"worker": "0"}, {"serve_requests_total": 4}),
+                ({"worker": "1"}, {"engine_batches_total": 2}),
+            ]
+        )
+        assert '# TYPE serve_requests_total counter' in merged
+        assert 'serve_requests_total{worker="0"} 4' in merged
+        assert 'engine_batches_total{worker="1"} 2' in merged
+        assert merged.count("# TYPE") == 2
+
+    def test_mismatched_histogram_bounds_refuse_to_merge(self):
+        def hist(le: float) -> dict:
+            return {
+                "buckets": [{"le": le, "count": 1}],
+                "sum": 0.5,
+                "count": 2,
+            }
+
+        with pytest.raises(ValueError, match="mismatched bucket"):
+            merge_labeled_snapshots(
+                [
+                    ({"worker": "0"}, {"latency_seconds": hist(1.0)}),
+                    ({"worker": "1"}, {"latency_seconds": hist(2.0)}),
+                ]
+            )
+
+
+class TestBenchFloors:
+    def test_schema_covers_every_gated_bench(self):
+        assert set(BENCH_FLOORS) == set(GATED_BENCHES)
+
+    def test_every_spec_names_a_metric_and_a_positive_floor(self):
+        for specs in BENCH_FLOORS.values():
+            assert specs
+            for spec in specs:
+                assert spec["metric"]
+                assert spec["min"] > 0
+
+
+class TestCheckFloors:
+    def test_all_floors_held(self):
+        result = check_floors("kernels", {"headline": 4.2}, cores=8)
+        assert result["passed"] is True
+        assert result["checked"] and not result["skipped"]
+
+    def test_below_floor_fails_with_detail(self):
+        result = check_floors("kernels", {"headline": 1.0})
+        assert result["passed"] is False
+        assert "1.00 < floor 3.0" in result["detail"]
+
+    def test_min_cores_unmet_skips_instead_of_failing(self):
+        # A starved host recording speedup 0.5 must not fail the gated
+        # bar it could never meet — the floor is skipped with a reason.
+        result = check_floors(
+            "join_parallel",
+            {"speedup[workers=4]": 0.5, "disk_warm_speedup": 1.2},
+            cores=1,
+        )
+        assert result["passed"] is True
+        assert any("needs >= 4 cores" in s for s in result["skipped"])
+
+    def test_absent_metric_is_a_skip_not_a_regression(self):
+        result = check_floors(
+            "serve", {"speedup[clients=16]": 3.0}, cores=16
+        )
+        assert result["passed"] is True
+        assert len(result["checked"]) == 1
+        assert len(result["skipped"]) == 2
+
+    def test_unknown_bench_checks_nothing(self):
+        result = check_floors("nope", {"headline": 0.0})
+        assert result["passed"] is True
+        assert not result["checked"] and not result["skipped"]
+
+
+class TestManifestTrends:
+    @staticmethod
+    def _manifest(run_id: str, mode: str, headline: float) -> dict:
+        return {
+            "run_id": run_id,
+            "mode": mode,
+            "benches": {"kernels": {"metrics": {"headline": headline}}},
+        }
+
+    def test_identical_runs_report_zero_deltas(self):
+        trends = manifest_trends(
+            self._manifest("b", "smoke", 4.0),
+            self._manifest("a", "smoke", 4.0),
+        )
+        assert trends["against_run_id"] == "a"
+        assert trends["against_mode"] == "smoke"
+        assert trends["comparable"] is True
+        row = trends["benches"]["kernels"]["metrics"]["headline"]
+        assert row == {
+            "current": 4.0,
+            "previous": 4.0,
+            "delta": 0.0,
+            "ratio": 1.0,
+        }
+
+    def test_mode_mismatch_is_flagged_not_hidden(self):
+        trends = manifest_trends(
+            self._manifest("b", "smoke", 4.0),
+            self._manifest("a", "full", 5.0),
+        )
+        assert trends["comparable"] is False
+        row = trends["benches"]["kernels"]["metrics"]["headline"]
+        assert row["delta"] == -1.0
+        assert row["ratio"] == 0.8
+
+    def test_one_sided_metrics_are_listed_not_dropped(self):
+        cur = {
+            "run_id": "b",
+            "mode": "smoke",
+            "benches": {
+                "serve": {"metrics": {"warm_cache_speedup": 30.0}}
+            },
+        }
+        prev = {
+            "run_id": "a",
+            "mode": "smoke",
+            "benches": {
+                "serve": {"metrics": {"speedup[clients=16]": 3.0}}
+            },
+        }
+        trends = manifest_trends(cur, prev)
+        block = trends["benches"]["serve"]
+        assert block["metrics"] == {}
+        assert block["only_current"] == ["warm_cache_speedup"]
+        assert block["only_previous"] == ["speedup[clients=16]"]
